@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table row or figure of the paper, prints
+the reproduced rows, *asserts* the paper's finite-size claims, and stores
+the rendered table under ``benchmarks/results/`` so the artefacts survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

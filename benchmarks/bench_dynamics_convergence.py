@@ -1,0 +1,67 @@
+"""Extension: do improving dynamics actually reach the good equilibria?
+
+The paper's conclusion asks how agents *reach* the states its PoA bounds
+describe (convergence of network creation dynamics is studied by Kawald
+and Lenzner, SPAA 2013).  This bench runs seeded ensembles of improving
+dynamics from random trees under increasing cooperation and reports
+convergence rate, path length, final quality, and the starting states'
+approximate-stability factor.
+
+The reproduced qualitative claims: dynamics under each concept terminate
+at checker-certified equilibria, and more cooperative move spaces end at
+states that are no worse (here: strictly better on average) than pairwise
+negotiation alone.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.concepts import Concept
+from repro.dynamics.convergence import convergence_study
+
+from _harness import emit, once
+
+
+def study():
+    rows = []
+    for concept in (Concept.RE, Concept.PS, Concept.BGE):
+        stats = convergence_study(
+            concept, n=14, alpha=6, runs=12, seed=42, max_rounds=3000
+        )
+        rows.append(
+            [
+                concept.value,
+                stats.runs,
+                stats.converged,
+                stats.cycled,
+                stats.mean_rounds,
+                stats.mean_start_instability,
+                stats.mean_final_rho,
+                stats.worst_final_rho,
+            ]
+        )
+    return rows
+
+
+def test_dynamics_convergence(benchmark):
+    rows = once(benchmark, study)
+    emit(
+        "dynamics_convergence",
+        render_table(
+            ["move space", "runs", "converged", "cycled", "mean moves",
+             "start instability beta", "mean final rho", "worst final rho"],
+            rows,
+            title="Extension -- improving dynamics from random trees "
+            "(n = 14, alpha = 6)",
+        ),
+    )
+    by_concept = {row[0]: row for row in rows}
+    # trees admit no improving removal: RE dynamics converge instantly
+    assert by_concept["remove-equilibrium"][4] == 0
+    # PS and BGE dynamics all terminate at certified equilibria
+    for name in ("pairwise-stability", "bilateral-greedy-equilibrium"):
+        assert by_concept[name][2] == by_concept[name][1]  # all converged
+        assert by_concept[name][6] >= 1
+    # richer move spaces do not end worse on average
+    assert (
+        by_concept["bilateral-greedy-equilibrium"][6]
+        <= by_concept["pairwise-stability"][6] + 1e-9
+    )

@@ -1,0 +1,85 @@
+"""Propositions 3.16 and 3.22: the boundary structure of BSE.
+
+* **3.16** — at ``alpha < 1`` the clique is the (only) BSE; at ``alpha = 1``
+  BSE are exactly the diameter <= 2 graphs; for ``alpha > 1`` the star is
+  joined by others (a path of four nodes at alpha = 100).  All verified by
+  the exact BSE checker over the full five-node atlas;
+* **3.22** — at ``alpha = n`` no family keeps every agent's cost within a
+  constant multiple of ``alpha + n - 1``: the flattest d-ary profile grows
+  with n, which is why the paper's Lemma 3.17 technique cannot close the
+  ``alpha ~ n`` gap.
+"""
+
+from fractions import Fraction
+
+import networkx as nx
+
+from repro.analysis.tables import render_table
+from repro.core.state import GameState
+from repro.equilibria.strong import is_strong_equilibrium
+from repro.graphs.generation import all_connected_graphs
+from repro.verification.propositions import minimum_max_cost_profile
+
+from _harness import emit, once
+
+
+def atlas_bse_structure():
+    rows = []
+    for alpha in (Fraction(1, 2), 1, 2):
+        for graph in all_connected_graphs(5):
+            state = GameState(graph, alpha)
+            if is_strong_equilibrium(state):
+                diameter = state.dist.diameter()
+                edges = graph.number_of_edges()
+                rows.append([float(alpha), edges, diameter])
+    return rows
+
+
+def test_prop_3_16_structure(benchmark):
+    rows = once(benchmark, atlas_bse_structure)
+    emit(
+        "prop316_bse_structure",
+        render_table(
+            ["alpha", "m (edges)", "diameter"],
+            rows,
+            title="Prop 3.16 -- every exact BSE among the 21 connected "
+            "5-node graphs",
+        ),
+    )
+    below = [row for row in rows if row[0] < 1]
+    at_one = [row for row in rows if row[0] == 1]
+    above = [row for row in rows if row[0] > 1]
+    # alpha < 1: only the clique (10 edges on 5 nodes)
+    assert below == [[0.5, 10, 1]]
+    # alpha = 1: exactly the diameter <= 2 graphs
+    assert at_one and all(row[2] <= 2 for row in at_one)
+    assert len(at_one) > 1
+    # alpha > 1: the star is present, and it is not alone
+    assert any(row[1] == 4 and row[2] == 2 for row in above)
+    assert len(above) >= 2
+    # the standalone P4-at-alpha-100 example
+    assert is_strong_equilibrium(GameState(nx.path_graph(4), 100))
+
+
+def profile_growth():
+    rows = []
+    for n in (64, 256, 1024, 4096):
+        value = float(minimum_max_cost_profile(n))
+        rows.append([n, value])
+    return rows
+
+
+def test_prop_3_22_no_flat_profile(benchmark):
+    rows = once(benchmark, profile_growth)
+    emit(
+        "prop322_profile",
+        render_table(
+            ["n", "min over d of max_u cost(u) / (alpha + n - 1)"],
+            rows,
+            title="Prop 3.22 -- at alpha = n the flattest d-ary cost "
+            "profile still grows with n",
+        ),
+    )
+    values = [row[1] for row in rows]
+    assert all(a < b for a, b in zip(values, values[1:]))
+    assert values[-1] > values[0] * 1.5

@@ -1,0 +1,94 @@
+"""Extension: the *structural* face of Table 1 — equilibrium tree shapes.
+
+The PoA gaps of Table 1 come from shape: pairwise-stable trees may stretch
+(spiders of depth ~ sqrt(alpha)) while swap-stable trees must stay shallow
+(Lemma 3.4: depth <= (1 + 2 alpha/n) log2 n from a 1-median).  This bench
+measures depth/diameter across the *entire* equilibrium families on n = 9
+trees and checks the lemma's bound family-wide, plus the certified
+constructions at scale.
+"""
+
+from repro.analysis.structure import equilibrium_family_shape, tree_shape
+from repro.analysis.tables import render_table
+from repro.constructions.spiders import ps_lower_bound_spider
+from repro.constructions.stretched import bge_lower_bound_star
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+from repro.equilibria.pairwise import (
+    is_bilateral_greedy_equilibrium,
+    is_pairwise_stable,
+)
+
+from _harness import emit, once
+
+
+def family_shapes():
+    rows = []
+    for alpha in (2, 8, 32):
+        ps = equilibrium_family_shape(9, alpha, Concept.PS)
+        bge = equilibrium_family_shape(9, alpha, Concept.BGE)
+        bswe = equilibrium_family_shape(9, alpha, Concept.BSWE)
+        rows.append(
+            [
+                alpha,
+                ps.count,
+                ps.max_diameter,
+                bge.count,
+                bge.max_diameter,
+                f"{bswe.lemma_3_4_bound:.2f}",
+                bswe.depth_within_lemma_3_4,
+            ]
+        )
+    return rows
+
+
+def test_family_shapes(benchmark):
+    rows = once(benchmark, family_shapes)
+    emit(
+        "structure_families",
+        render_table(
+            ["alpha", "#PS", "max diam (PS)", "#BGE", "max diam (BGE)",
+             "lemma 3.4 depth bound", "BSwE within bound"],
+            rows,
+            title="Extension -- shapes of whole equilibrium families, "
+            "all trees n = 9 (BGE refines PS; BSwE obeys Lemma 3.4)",
+        ),
+    )
+    for alpha, ps_count, ps_diam, bge_count, bge_diam, _, within in rows:
+        assert within  # every BSwE tree fits Lemma 3.4's depth bound
+        assert bge_diam <= ps_diam  # the refinement never stretches
+        assert bge_count <= ps_count
+
+
+def construction_shapes():
+    spider = ps_lower_bound_spider(513, 512)
+    spider_state = GameState(spider, 512)
+    assert is_pairwise_stable(spider_state)
+    star = bge_lower_bound_star(600, eta=600)
+    star_state = GameState(star.graph, 600)
+    assert is_bilateral_greedy_equilibrium(star_state)
+    rows = []
+    for name, state in (
+        ("PS spider (n=513, a=512)", spider_state),
+        ("BGE stretched star (n=621, a=600)", star_state),
+    ):
+        depth, diameter, degree = tree_shape(state)
+        rows.append([name, depth, diameter, degree, float(state.rho())])
+    return rows
+
+
+def test_construction_shapes(benchmark):
+    rows = once(benchmark, construction_shapes)
+    emit(
+        "structure_constructions",
+        render_table(
+            ["construction", "depth", "diameter", "max degree", "rho"],
+            rows,
+            title="Extension -- certified worst-case families: the PS "
+            "family is deep, the BGE family is logarithmically shallow",
+        ),
+    )
+    spider_depth = rows[0][1]
+    star_depth = rows[1][1]
+    # sqrt(512) ~ 22-deep legs vs log-depth star
+    assert spider_depth > 2 * star_depth

@@ -1,0 +1,118 @@
+"""Table 1, row BNE (trees): Theta(log alpha) for large alpha, but a
+*constant* PoA (<= 4) once ``alpha <= sqrt n`` (Theorems 3.12 / 3.13).
+
+* **log regime** — Theorem 3.12's stretched tree stars: Lemma 3.11's
+  sufficient condition is evaluated exactly (certifying BNE membership),
+  BGE membership (a necessary condition, BNE ⊆ BGE) is verified by the
+  exact polynomial checkers, and seeded randomized neighborhood probing
+  finds no improving move; measured rho grows with log alpha;
+* **constant regime** — BNE ⊆ BGE, so the exhaustively measured worst BGE
+  tree at ``alpha <= sqrt n`` upper-bounds the BNE PoA; it must be <= 4.
+  The paper's contrast — the same machinery at large alpha exceeds it —
+  is reported alongside.
+"""
+
+import random
+
+from repro.analysis.fitting import fit_log_slope
+from repro.analysis.tables import render_table
+from repro.constructions.stretched import stretched_tree_star
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+from repro.analysis.poa import empirical_tree_poa
+from repro.equilibria.neighborhood import probe_neighborhood_moves
+from repro.equilibria.pairwise import is_bilateral_greedy_equilibrium
+from repro.verification.lemmas import check_lemma_3_11_condition
+
+from _harness import emit, once
+
+
+def _tuned_star(eta: int, alpha: int):
+    """Largest-t stretched star (k=1) whose Lemma 3.11 condition holds."""
+    best = None
+    t = 3
+    while t <= eta // 2 - 1:
+        star = stretched_tree_star(k=1, t=t, eta=eta)
+        if check_lemma_3_11_condition(star, alpha).holds:
+            best = star
+        t = int(t * 1.15) + 1
+    if best is None:
+        raise AssertionError(f"no Lemma 3.11-feasible t at eta={eta}")
+    return best
+
+
+def log_regime_sweep():
+    rows = []
+    rng = random.Random(7)
+    for eta in (500, 1000, 3000):
+        alpha = eta  # top of Theorem 3.12's case-(ii) range
+        star = _tuned_star(eta, alpha)
+        state = GameState(star.graph, alpha)
+        in_bge = is_bilateral_greedy_equilibrium(state)
+        probe = probe_neighborhood_moves(state, rng, samples=200)
+        rows.append(
+            [
+                alpha,
+                state.n,
+                float(star.t),
+                float(state.rho()),
+                in_bge,
+                probe is None,
+            ]
+        )
+    return rows
+
+
+def test_bne_log_regime(benchmark):
+    rows = once(benchmark, log_regime_sweep)
+    fit = fit_log_slope([row[0] for row in rows], [row[3] for row in rows])
+    emit(
+        "table1_bne_log",
+        render_table(
+            ["alpha = eta", "n", "t (tuned)", "rho", "in BGE",
+             "probe found nothing"],
+            rows,
+            title="Table 1 / BNE on trees, alpha >= n^(1/2+eps) -- "
+            "Lemma 3.11-certified stretched stars at alpha = eta",
+        )
+        + f"\n\nlog-slope fit: {fit.slope:.3f} * log2(alpha) "
+        f"(R^2 = {fit.r_squared:.4f}); paper: Theta(log alpha). "
+        "Every row passes Lemma 3.11's sufficient condition by "
+        "construction.",
+    )
+    for alpha, n, t, rho, in_bge, probe_clean in rows:
+        assert in_bge  # necessary condition for BNE (BNE subset of BGE)
+        assert probe_clean  # randomized refuter found no violation
+    rhos = [row[3] for row in rows]
+    assert rhos[-1] > rhos[0] + 0.5  # clear growth across the sweep
+    assert fit.slope > 0.1
+    assert fit.r_squared > 0.8
+
+
+def constant_regime():
+    rows = []
+    for n, alpha_small, alpha_large in ((11, 3, 60), (12, 3, 80), (13, 3, 100)):
+        small = empirical_tree_poa(n, alpha_small, Concept.BGE)
+        large = empirical_tree_poa(n, alpha_large, Concept.BGE)
+        rows.append(
+            [n, alpha_small, float(small.poa), alpha_large, float(large.poa)]
+        )
+    return rows
+
+
+def test_bne_constant_regime(benchmark):
+    rows = once(benchmark, constant_regime)
+    emit(
+        "table1_bne_constant",
+        render_table(
+            ["n", "alpha <= sqrt n", "PoA bound via BGE", "alpha large",
+             "PoA via BGE (contrast)"],
+            rows,
+            title="Table 1 / BNE on trees, alpha <= sqrt(n) -- exhaustive "
+            "BGE superset bound (BNE subset of BGE)",
+        )
+        + "\n\npaper (Theorem 3.13): rho <= 4 in the small-alpha regime",
+    )
+    for n, alpha_small, small_poa, alpha_large, large_poa in rows:
+        assert alpha_small**2 <= n
+        assert small_poa <= 4.0, (n, alpha_small, small_poa)

@@ -1,0 +1,132 @@
+"""Table 1, row PS (trees): PoA = Theta(min(sqrt(alpha), n / sqrt(alpha))).
+
+Three measurements regenerate the row:
+
+* **shape** — certified-PS spiders at fixed n over an alpha sweep; the
+  measured rho must correlate linearly with ``min(sqrt a, n/sqrt a)``,
+  rise below the ``alpha ~ n`` crossover, peak there, and decay after;
+* **scaling** — at the worst price ``alpha = n`` the family's rho must grow
+  roughly like ``sqrt(n)`` as n doubles (ratio ~ 1.41 per doubling), which
+  is exactly how the Theta(min(...)) envelope scales at its peak;
+* **exhaustive** — over *all* trees at n = 10, PS is confirmed to be the
+  outermost rung: every stronger concept has weakly smaller worst case and
+  strictly fewer equilibria (at small n the numeric gap between sqrt(alpha)
+  and log(alpha) families is not yet visible — reported, not hidden).
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.poa import empirical_tree_poa
+from repro.analysis.tables import render_table
+from repro.constructions.spiders import ps_lower_bound_spider
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+from repro.equilibria.pairwise import is_pairwise_stable
+
+from _harness import emit, once
+
+
+def spider_shape_sweep():
+    n = 513
+    alphas = (16, 64, 256, 512, 2048, 8192, 32768)
+    rows = []
+    for alpha in alphas:
+        graph = ps_lower_bound_spider(n, alpha)
+        state = GameState(graph, alpha)
+        assert is_pairwise_stable(state), f"spider not PS at alpha={alpha}"
+        rho = float(state.rho())
+        shape = min(math.sqrt(alpha), state.n / math.sqrt(alpha))
+        rows.append([alpha, state.n, rho, shape, rho / shape])
+    return rows
+
+
+def test_ps_spider_shape(benchmark):
+    rows = once(benchmark, spider_shape_sweep)
+    rhos = np.array([row[2] for row in rows])
+    shapes = np.array([row[3] for row in rows])
+    correlation = float(np.corrcoef(rhos, shapes)[0, 1])
+    emit(
+        "table1_ps_spiders",
+        render_table(
+            ["alpha", "n", "rho (measured)", "min(sqrt a, n/sqrt a)",
+             "rho/shape"],
+            rows,
+            title="Table 1 / PS on trees -- certified PS spiders, n = 513",
+        )
+        + f"\n\ncorrelation(rho, paper shape) = {correlation:.4f}; "
+        "paper: rho = Theta(min(sqrt a, n/sqrt a))",
+    )
+    assert correlation > 0.9
+    # rises below the crossover, peaks near alpha ~ n, decays above
+    peak = int(np.argmax(rhos))
+    assert rows[peak][0] in (256, 512, 2048)
+    assert rhos[0] < rhos[peak] and rhos[-1] < rhos[peak]
+    # within a constant factor of the shape everywhere
+    for row in rows:
+        assert 0.2 <= row[4] <= 5.0, row
+
+
+def spider_peak_scaling():
+    rows = []
+    for n in (129, 257, 513, 1025):
+        alpha = n - 1
+        graph = ps_lower_bound_spider(n, alpha)
+        state = GameState(graph, alpha)
+        assert is_pairwise_stable(state)
+        rows.append([n, alpha, float(state.rho()), math.sqrt(alpha)])
+    return rows
+
+
+def test_ps_peak_grows_like_sqrt_n(benchmark):
+    rows = once(benchmark, spider_peak_scaling)
+    ratios = [rows[i + 1][2] / rows[i][2] for i in range(len(rows) - 1)]
+    emit(
+        "table1_ps_scaling",
+        render_table(
+            ["n", "alpha = n-1", "rho (measured)", "sqrt(alpha)"],
+            rows,
+            title="Table 1 / PS on trees -- peak scaling at alpha = n",
+        )
+        + f"\n\nper-doubling growth ratios: "
+        + ", ".join(f"{r:.3f}" for r in ratios)
+        + " (sqrt scaling predicts ~1.414)",
+    )
+    for ratio in ratios:
+        assert 1.15 <= ratio <= 1.7, ratios  # clearly growing, sqrt-like
+    # the family sits within a constant factor of sqrt(alpha)
+    for n, alpha, rho, root in rows:
+        assert 0.2 * root <= rho <= root
+
+
+def exhaustive_worst_case():
+    rows = []
+    for alpha in (4, 9, 16, 36):
+        ps = empirical_tree_poa(10, alpha, Concept.PS)
+        bge = empirical_tree_poa(10, alpha, Concept.BGE)
+        rows.append(
+            [alpha, float(ps.poa), float(bge.poa), ps.equilibria,
+             bge.equilibria]
+        )
+    return rows
+
+
+def test_ps_exhaustive_small_n(benchmark):
+    rows = once(benchmark, exhaustive_worst_case)
+    emit(
+        "table1_ps_exhaustive",
+        render_table(
+            ["alpha", "PoA(PS)", "PoA(BGE)", "#PS trees", "#BGE trees"],
+            rows,
+            title="Table 1 / PS vs BGE -- exact worst case over all 106 "
+            "trees, n = 10",
+        )
+        + "\n\nnote: at n = 10 the sqrt-vs-log separation is below the "
+        "resolution of exhaustive enumeration; the construction-based "
+        "benches above carry the asymptotic content.",
+    )
+    for alpha, ps_poa, bge_poa, ps_count, bge_count in rows:
+        assert ps_poa >= bge_poa  # cooperation can only help
+        assert bge_count <= ps_count  # BGE refines PS
+    assert any(row[4] < row[3] for row in rows)  # strictly fewer somewhere

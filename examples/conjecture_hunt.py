@@ -1,0 +1,81 @@
+"""Hunting the Corbo–Parkes conjecture with dynamics-sampled equilibria.
+
+Proposition 2.3 refutes the 2005 conjecture that every unilateral Pure
+Nash Equilibrium is pairwise stable in the bilateral game.  This example
+makes the refutation tangible: it *samples* genuine Nash equilibria by
+running exact best-response dynamics of the unilateral game from random
+starts, then asks the bilateral checkers whether each sampled NE survives
+as a pairwise-stable network.  Counterexamples — equilibria with an edge
+the non-paying endpoint would bilaterally cancel — are reported with their
+certificates, alongside the frozen minimal witness.
+
+Run:  python examples/conjecture_hunt.py [n] [alpha] [samples]
+"""
+
+import random
+import sys
+
+from repro.analysis.tables import render_table
+from repro.constructions.figures import figure2_nash_not_pairwise_stable
+from repro.core.state import GameState
+from repro.equilibria.nash import is_nash_equilibrium
+from repro.equilibria.nash_dynamics import unilateral_best_response_dynamics
+from repro.equilibria.pairwise import find_pairwise_violation
+from repro.equilibria.remove import removal_loss
+
+
+def main(n: int = 6, alpha: int = 2, samples: int = 12) -> None:
+    rows = []
+    refutations = 0
+    for seed in range(samples):
+        outcome = unilateral_best_response_dynamics(
+            n, alpha, random.Random(seed)
+        )
+        if not outcome.converged:
+            rows.append([seed, "did not converge", "-", "-"])
+            continue
+        state = outcome.state(alpha)
+        assert is_nash_equilibrium(state, outcome.assignment)
+        violation = find_pairwise_violation(state)
+        if violation is None:
+            rows.append([seed, "NE, pairwise stable", "-", "-"])
+        else:
+            refutations += 1
+            rows.append(
+                [seed, "NE but NOT pairwise stable", type(violation).__name__,
+                 str(violation)]
+            )
+    print(
+        render_table(
+            ["seed", "verdict", "break type", "certificate"],
+            rows,
+            title=f"Sampled unilateral NE (n={n}, alpha={alpha}) vs "
+            "bilateral pairwise stability",
+        )
+    )
+    print(
+        f"\n{refutations}/{samples} sampled equilibria refute the "
+        "conjecture on their own."
+    )
+    if refutations == 0:
+        print(
+            "(best-response dynamics gravitate to star-like equilibria "
+            "that are also pairwise stable — the counterexamples exist "
+            "but are dynamically hard to reach, which is why Prop 2.3 "
+            "needed a constructed witness:)"
+        )
+
+    fig = figure2_nash_not_pairwise_stable()
+    state = GameState(fig.graph, fig.alpha)
+    a, b = fig.node("a"), fig.node("b")
+    print(
+        "\nFrozen minimal witness (Proposition 2.3): n = 5, alpha = 2; "
+        f"agent a's loss from dropping edge ab is "
+        f"{removal_loss(state, a, b)} < alpha = {fig.alpha} — the edge "
+        "survives unilaterally (b pays) but dies bilaterally."
+    )
+
+
+if __name__ == "__main__":
+    args = [int(value) for value in sys.argv[1:4]]
+    main(*args)

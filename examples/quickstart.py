@@ -1,0 +1,60 @@
+"""Quickstart: build a game, inspect costs, check stability, find a move.
+
+Run:  python examples/quickstart.py
+"""
+
+import networkx as nx
+
+from repro import (
+    Concept,
+    GameState,
+    check,
+    find_improving_bilateral_add,
+    find_improving_swap,
+    validate_certificate,
+)
+
+
+def main() -> None:
+    # Six agents on a path, edge price 2.  Each agent pays alpha per
+    # incident edge plus her total hop distance to everyone else.
+    state = GameState(nx.path_graph(6), alpha=2)
+
+    print("agents:", state.n, "| edge price alpha =", state.alpha)
+    for agent in range(state.n):
+        print(
+            f"  agent {agent}: buys {state.degree(agent)} edges, "
+            f"distance cost {state.dist_cost(agent)}, "
+            f"total cost {state.cost(agent)}"
+        )
+    print("social cost:", state.social_cost())
+    print("social cost ratio rho:", float(state.rho()))
+
+    # The path is not pairwise stable at alpha = 2: the two ends would
+    # both profit from a shortcut.
+    print("\npairwise stable?", check(state, Concept.PS))
+    move = find_improving_bilateral_add(state)
+    print("improving mutual addition:", move)
+    print("certified improving:", validate_certificate(state, move))
+
+    # Apply it and look again.
+    state = state.apply(move)
+    print("\nafter the move: social cost", state.social_cost(),
+          "rho", float(state.rho()))
+    print("pairwise stable now?", check(state, Concept.PS))
+
+    # Stronger cooperation: is anyone willing to swap an edge?
+    swap = find_improving_swap(state)
+    print("improving swap:", swap)
+
+    # The star is the social optimum for alpha >= 1 and is stable under
+    # every solution concept of the paper (footnote 6).
+    optimum = GameState(nx.star_graph(5), alpha=2)
+    print("\nstar: rho =", float(optimum.rho()))
+    for concept in (Concept.RE, Concept.BAE, Concept.PS, Concept.BSWE,
+                    Concept.BGE, Concept.BNE, Concept.BSE):
+        print(f"  star in {concept.value}: {check(optimum, concept)}")
+
+
+if __name__ == "__main__":
+    main()

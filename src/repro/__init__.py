@@ -1,0 +1,91 @@
+"""repro — The Impact of Cooperation in Bilateral Network Creation.
+
+A complete executable reproduction of Friedrich, Gawendowicz, Lenzner and
+Zahn (PODC 2023): the Bilateral Network Creation Game, the full ladder of
+cooperation-graded solution concepts (RE, BAE, PS, BSwE, BGE, BNE, k-BSE,
+BSE), the paper's worst-case constructions, improving-move dynamics, and the
+analysis harness that regenerates every table and figure.
+
+Quickstart::
+
+    import networkx as nx
+    from repro import GameState, Concept, check
+
+    state = GameState(nx.star_graph(9), alpha=5)
+    check(state, Concept.PS)        # True: the star is pairwise stable
+    state.rho()                     # Fraction(1, 1): it is a social optimum
+"""
+
+from repro.version import __version__
+from repro._alpha import as_alpha
+from repro.core import (
+    AddEdge,
+    CoalitionMove,
+    Concept,
+    GameState,
+    Move,
+    NeighborhoodMove,
+    RemoveEdge,
+    Swap,
+    optimum_cost,
+    optimum_graph,
+    social_cost_ratio,
+)
+from repro.equilibria import (
+    EdgeAssignment,
+    best_response,
+    check,
+    diagnose,
+    find_improving_bilateral_add,
+    find_improving_coalition_move,
+    find_improving_neighborhood_move,
+    find_improving_removal,
+    find_improving_swap,
+    is_bilateral_add_equilibrium,
+    is_bilateral_greedy_equilibrium,
+    is_bilateral_swap_equilibrium,
+    is_k_strong_equilibrium,
+    is_nash_equilibrium,
+    is_neighborhood_equilibrium,
+    is_pairwise_stable,
+    is_remove_equilibrium,
+    is_strong_equilibrium,
+    is_unilateral_add_equilibrium,
+    validate_certificate,
+)
+
+__all__ = [
+    "AddEdge",
+    "CoalitionMove",
+    "Concept",
+    "EdgeAssignment",
+    "GameState",
+    "Move",
+    "NeighborhoodMove",
+    "RemoveEdge",
+    "Swap",
+    "__version__",
+    "as_alpha",
+    "best_response",
+    "check",
+    "diagnose",
+    "find_improving_bilateral_add",
+    "find_improving_coalition_move",
+    "find_improving_neighborhood_move",
+    "find_improving_removal",
+    "find_improving_swap",
+    "is_bilateral_add_equilibrium",
+    "is_bilateral_greedy_equilibrium",
+    "is_bilateral_swap_equilibrium",
+    "is_k_strong_equilibrium",
+    "is_nash_equilibrium",
+    "is_neighborhood_equilibrium",
+    "is_pairwise_stable",
+    "is_remove_equilibrium",
+    "is_strong_equilibrium",
+    "is_unilateral_add_equilibrium",
+    "optimum_cost",
+    "optimum_graph",
+    "social_cost_ratio",
+    "validate_certificate",
+]

@@ -1,0 +1,97 @@
+"""Exact arithmetic for the edge price ``alpha``.
+
+All "strictly improving" comparisons in the (Bilateral) Network Creation Game
+compare an integer distance gain against ``alpha`` or against
+``alpha * k + d`` for integers ``k`` and ``d``.  To keep every equilibrium
+decision exact we normalise ``alpha`` to :class:`fractions.Fraction` and
+provide integer thresholds so that hot loops can stay in pure-integer (or
+numpy ``int64``) arithmetic.
+
+The big constant ``M`` (distance between disconnected agents) is chosen so
+that reaching one more agent always dominates any possible saving in buying
+or distance cost — see :func:`big_m` for why ``M > alpha*n + n**2`` is
+equivalent to the paper's ``M > alpha * n**3`` for every game decision.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Union
+
+AlphaLike = Union[int, float, str, Fraction]
+
+
+def as_alpha(value: AlphaLike) -> Fraction:
+    """Normalise an edge price to an exact :class:`Fraction`.
+
+    Accepts ints, Fractions, strings (``"104.5"``, ``"1/2"``) and floats.
+    Floats are converted through their exact binary value, which is exact for
+    the dyadic prices used throughout the paper (``0.5``, ``4.5``, ``104.5``).
+
+    >>> as_alpha("1/2")
+    Fraction(1, 2)
+    >>> as_alpha(4.5)
+    Fraction(9, 2)
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("alpha must be a number, not bool")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"alpha must be finite, got {value!r}")
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    raise TypeError(f"cannot interpret {value!r} as an edge price")
+
+
+def strict_gt_threshold(alpha: Fraction) -> int:
+    """Smallest integer strictly greater than ``alpha``.
+
+    For an integer gain ``g``: ``g > alpha  <=>  g >= strict_gt_threshold``.
+    This lets vectorised integer code make exact strict comparisons.
+
+    >>> strict_gt_threshold(Fraction(9, 2))
+    5
+    >>> strict_gt_threshold(Fraction(4))
+    5
+    """
+    return math.floor(alpha) + 1
+
+
+def strict_lt_threshold(alpha: Fraction) -> int:
+    """Largest integer strictly smaller than ``alpha``.
+
+    For an integer gain ``g``: ``g < alpha  <=>  g <= strict_lt_threshold``.
+    """
+    return math.ceil(alpha) - 1
+
+
+def big_m(n: int, alpha: Fraction) -> int:
+    """The disconnection constant ``M`` for ``n`` agents at price ``alpha``.
+
+    The paper sets ``M > alpha * n**3``; the property that actually matters
+    (Section 1.1) is that reaching one more agent dominates *any* possible
+    saving in buying cost (at most ``alpha * n``) plus real distance cost
+    (at most ``n**2``).  ``M > alpha * n + n**2`` enforces exactly the same
+    lexicographic preference, makes identical equilibrium decisions, and
+    keeps distance sums inside ``int64`` for much larger instances — so we
+    use it.  The result is an integer so distance matrices stay integral.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return max(n, math.floor(alpha * n + n**2) + 1)
+
+
+def fits_int64(value: int) -> bool:
+    """Whether ``value`` leaves doubling headroom inside numpy ``int64``.
+
+    Callers pass the largest sum they will form (e.g. ``n * M``, the worst
+    possible total distance); one extra factor of two of headroom guards
+    the intermediate differences the checkers compute.
+    """
+    return abs(value) < 2**62

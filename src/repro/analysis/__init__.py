@@ -1,0 +1,72 @@
+"""Analysis harness: PoA measurement, bound formulas, fitting, reporting."""
+
+from repro.analysis.bounds import (
+    bge_tree_lower_bound,
+    bne_small_alpha_bound,
+    bse_any_alpha_bound,
+    bse_high_alpha_bound,
+    bse_low_alpha_bound,
+    bswe_tree_upper_bound,
+    dary_tree_cost_bound,
+    proposition_3_1_bound,
+    ps_tree_shape,
+    re_corollary_3_2_bound,
+    three_bse_tree_bound,
+)
+from repro.analysis.fitting import (
+    LinearFit,
+    fit_log_slope,
+    fit_power_law,
+    relative_spread,
+)
+from repro.analysis.poa import (
+    PoAResult,
+    bse_upper_bound_via_dary_tree,
+    empirical_poa,
+    empirical_tree_poa,
+    worst_equilibria,
+)
+from repro.analysis.search import (
+    NashWitness,
+    classify_re_bae_bswe,
+    search_nash_not_pairwise_stable,
+    search_venn_witnesses,
+)
+from repro.analysis.structure import (
+    FamilyShape,
+    equilibrium_family_shape,
+    tree_shape,
+)
+from repro.analysis.tables import format_value, render_table
+
+__all__ = [
+    "LinearFit",
+    "NashWitness",
+    "PoAResult",
+    "bge_tree_lower_bound",
+    "bne_small_alpha_bound",
+    "bse_any_alpha_bound",
+    "bse_high_alpha_bound",
+    "bse_low_alpha_bound",
+    "bse_upper_bound_via_dary_tree",
+    "bswe_tree_upper_bound",
+    "classify_re_bae_bswe",
+    "dary_tree_cost_bound",
+    "empirical_poa",
+    "empirical_tree_poa",
+    "equilibrium_family_shape",
+    "FamilyShape",
+    "fit_log_slope",
+    "fit_power_law",
+    "format_value",
+    "proposition_3_1_bound",
+    "ps_tree_shape",
+    "re_corollary_3_2_bound",
+    "relative_spread",
+    "render_table",
+    "search_nash_not_pairwise_stable",
+    "search_venn_witnesses",
+    "three_bse_tree_bound",
+    "tree_shape",
+    "worst_equilibria",
+]

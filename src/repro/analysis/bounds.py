@@ -1,0 +1,105 @@
+"""The paper's bound functions, as executable formulas.
+
+Two kinds of bounds appear in Table 1 and its proofs:
+
+* *exact finite-size inequalities* the proofs actually establish (e.g.
+  Theorem 3.6's ``rho <= 2 + 2 log2(alpha)``) — these are directly
+  checkable on concrete instances and the verification harness does so;
+* *asymptotic shapes* (``Theta(min(sqrt a, n/sqrt a))``) — exposed as
+  reference curves for the shape comparisons in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro._alpha import AlphaLike, as_alpha
+
+__all__ = [
+    "bge_tree_lower_bound",
+    "bne_small_alpha_bound",
+    "bse_any_alpha_bound",
+    "bse_high_alpha_bound",
+    "bse_low_alpha_bound",
+    "bswe_tree_upper_bound",
+    "dary_tree_cost_bound",
+    "proposition_3_1_bound",
+    "ps_tree_shape",
+    "re_corollary_3_2_bound",
+    "three_bse_tree_bound",
+]
+
+
+def ps_tree_shape(n: int, alpha: AlphaLike) -> float:
+    """Reference shape ``min(sqrt(alpha), n / sqrt(alpha))`` for PS trees
+    (Table 1 row 1; constants are asymptotic, use for shape only)."""
+    a = float(as_alpha(alpha))
+    return min(math.sqrt(a), n / math.sqrt(a))
+
+
+def bswe_tree_upper_bound(alpha: AlphaLike) -> float:
+    """Theorem 3.6: trees in BSwE satisfy ``rho <= 2 + 2 log2 alpha``
+    (exact inequality, ``alpha >= 1``)."""
+    return 2 + 2 * math.log2(float(as_alpha(alpha)))
+
+
+def bge_tree_lower_bound(alpha: AlphaLike) -> float:
+    """Theorem 3.10: a BGE tree family with
+    ``rho >= log2(alpha)/4 - 17/8`` exists (for large alpha)."""
+    return math.log2(float(as_alpha(alpha))) / 4 - Fraction(17, 8)
+
+
+def bne_small_alpha_bound() -> int:
+    """Theorem 3.13: trees in BNE with ``alpha <= sqrt n``, ``n > 15``
+    satisfy ``rho <= 4``."""
+    return 4
+
+
+def three_bse_tree_bound() -> int:
+    """Theorem 3.15: trees in 3-BSE satisfy ``rho <= 25``."""
+    return 25
+
+
+def re_corollary_3_2_bound(n: int, alpha: AlphaLike) -> Fraction:
+    """Corollary 3.2: connected RE graphs satisfy ``rho <= 1 + n^2/alpha``."""
+    return 1 + Fraction(n**2) / as_alpha(alpha)
+
+
+def proposition_3_1_bound(n: int, alpha: AlphaLike, dist_u: int) -> Fraction:
+    """Proposition 3.1: ``rho(G) <= (alpha + dist(u)) / (alpha + n - 1)``
+    for any node ``u`` of a connected RE graph."""
+    a = as_alpha(alpha)
+    return (a + dist_u) / (a + n - 1)
+
+
+def dary_tree_cost_bound(n: int, alpha: AlphaLike, d: int) -> float:
+    """Lemma 3.18: every agent of an almost complete d-ary tree has
+    ``cost(u) <= (d+1) alpha + 2 (n-1) log_d n``."""
+    if d < 2:
+        raise ValueError("d must be at least 2")
+    return (d + 1) * float(as_alpha(alpha)) + 2 * (n - 1) * math.log(n, d)
+
+
+def bse_high_alpha_bound() -> int:
+    """Theorem 3.19: BSE with ``alpha >= n log n`` satisfy ``rho <= 5``."""
+    return 5
+
+
+def bse_low_alpha_bound(epsilon: float) -> float:
+    """Theorem 3.20: BSE with ``alpha <= n^(1-eps)`` satisfy
+    ``rho <= 3 + 2/eps``."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return 3 + 2 / epsilon
+
+
+def bse_any_alpha_bound(n: int) -> float:
+    """Theorem 3.21: BSE satisfy
+    ``rho <= 2 + log log n + 2 log n / log log log n`` (for n large enough
+    that the triple logarithm is positive)."""
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    loglog = math.log2(math.log2(n)) if math.log2(n) > 1 else 0.0
+    logloglog = math.log2(loglog) if loglog > 1 else float("nan")
+    return 2 + loglog + 2 * math.log2(n) / logloglog

@@ -1,0 +1,68 @@
+"""Shape fitting: does a measured PoA curve grow like ``log alpha``,
+``sqrt(alpha)``, or stay flat?
+
+The paper's claims are asymptotic; the benchmarks compare *shapes*.  A
+logarithmic claim is confirmed by a good linear fit of ``rho`` against
+``log2(alpha)`` with a clearly positive slope; a square-root claim by a
+log-log slope near 1/2; constancy by a tiny relative spread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearFit", "fit_log_slope", "fit_power_law", "relative_spread"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept`` with fit quality."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+
+def _linear_fit(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    if len(x) < 2:
+        raise ValueError("need at least two points to fit a line")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    total = float(((y - y.mean()) ** 2).sum())
+    residual = float(((y - predicted) ** 2).sum())
+    r_squared = 1.0 if total == 0 else 1 - residual / total
+    return LinearFit(float(slope), float(intercept), r_squared)
+
+
+def fit_log_slope(alphas: Sequence[float], rhos: Sequence[float]) -> LinearFit:
+    """Fit ``rho ~ slope * log2(alpha) + b``.
+
+    A Theta(log alpha) family shows a stable positive slope; a constant
+    family shows slope ~ 0.
+    """
+    x = np.array([math.log2(float(a)) for a in alphas], dtype=float)
+    y = np.array([float(r) for r in rhos], dtype=float)
+    return _linear_fit(x, y)
+
+
+def fit_power_law(alphas: Sequence[float], rhos: Sequence[float]) -> LinearFit:
+    """Fit ``log2 rho ~ exponent * log2 alpha + c`` (slope = the exponent).
+
+    A Theta(sqrt alpha) family shows exponent ~ 0.5.
+    """
+    x = np.array([math.log2(float(a)) for a in alphas], dtype=float)
+    y = np.array([math.log2(float(r)) for r in rhos], dtype=float)
+    return _linear_fit(x, y)
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """``(max - min) / min`` — near zero for a constant family."""
+    floats = [float(v) for v in values]
+    low, high = min(floats), max(floats)
+    if low <= 0:
+        raise ValueError("values must be positive")
+    return (high - low) / low

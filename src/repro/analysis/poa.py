@@ -1,0 +1,142 @@
+"""Empirical Price of Anarchy: exhaustive worst cases and certified bounds.
+
+Small instances allow the real thing: enumerate *all* non-isomorphic trees
+(or connected graphs), keep those passing a concept's exact checker, and
+take the worst social cost ratio.  That is the PoA by definition, not an
+estimate.  Larger instances use the paper's own reductions (Lemma 3.17 /
+3.18) to produce certified upper bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+import networkx as nx
+
+from repro._alpha import AlphaLike, as_alpha
+from repro.analysis.bounds import proposition_3_1_bound
+from repro.constructions.basic import almost_complete_dary_tree
+from repro.core.concepts import Concept
+from repro.core.costs import max_agent_cost
+from repro.core.state import GameState
+from repro.equilibria.registry import check
+from repro.graphs.generation import all_connected_graphs, all_trees
+
+__all__ = [
+    "PoAResult",
+    "bse_upper_bound_via_dary_tree",
+    "empirical_poa",
+    "empirical_tree_poa",
+    "worst_equilibria",
+]
+
+
+@dataclass(frozen=True)
+class PoAResult:
+    """Worst-case ratio over an enumerated family, with the witness."""
+
+    n: int
+    alpha: Fraction
+    concept: Concept
+    k: int | None
+    poa: Fraction | None  # None when no equilibrium exists in the family
+    witness: nx.Graph | None
+    equilibria: int
+    candidates: int
+
+
+def _scan(
+    graphs: Iterable[nx.Graph],
+    alpha: Fraction,
+    concept: Concept,
+    k: int | None,
+    n: int,
+) -> PoAResult:
+    worst: Fraction | None = None
+    witness: nx.Graph | None = None
+    equilibria = 0
+    candidates = 0
+    for graph in graphs:
+        candidates += 1
+        state = GameState(graph, alpha)
+        if not check(state, concept, k=k):
+            continue
+        equilibria += 1
+        rho = state.rho()
+        if worst is None or rho > worst:
+            worst = rho
+            witness = state.graph.copy()
+    return PoAResult(
+        n=n,
+        alpha=alpha,
+        concept=concept,
+        k=k,
+        poa=worst,
+        witness=witness,
+        equilibria=equilibria,
+        candidates=candidates,
+    )
+
+
+def empirical_tree_poa(
+    n: int, alpha: AlphaLike, concept: Concept, k: int | None = None
+) -> PoAResult:
+    """Exact PoA restricted to tree equilibria on ``n`` nodes.
+
+    Enumerates every non-isomorphic tree; feasible up to ``n ~ 13``
+    (1301 trees) for the polynomial concepts, less for BNE/k-BSE.
+    """
+    price = as_alpha(alpha)
+    return _scan(all_trees(n), price, concept, k, n)
+
+
+def empirical_poa(
+    n: int, alpha: AlphaLike, concept: Concept, k: int | None = None
+) -> PoAResult:
+    """Exact PoA over *all* connected graphs on ``n <= 7`` nodes."""
+    price = as_alpha(alpha)
+    return _scan(all_connected_graphs(n), price, concept, k, n)
+
+
+def worst_equilibria(
+    n: int,
+    alpha: AlphaLike,
+    concept: Concept,
+    k: int | None = None,
+    top: int = 3,
+    trees_only: bool = True,
+) -> list[tuple[Fraction, nx.Graph]]:
+    """The ``top`` worst equilibria (ratio, graph), descending."""
+    price = as_alpha(alpha)
+    graphs = all_trees(n) if trees_only else all_connected_graphs(n)
+    scored: list[tuple[Fraction, nx.Graph]] = []
+    for graph in graphs:
+        state = GameState(graph, price)
+        if check(state, concept, k=k):
+            scored.append((state.rho(), state.graph.copy()))
+    scored.sort(key=lambda item: item[0], reverse=True)
+    return scored[:top]
+
+
+def bse_upper_bound_via_dary_tree(
+    n: int, alpha: AlphaLike, d: int
+) -> Fraction:
+    """Certified PoA upper bound for BSE at ``(n, alpha)`` via Lemma 3.17.
+
+    Builds the almost complete ``d``-ary tree, computes the *exact* maximum
+    agent cost, and divides by ``alpha + n - 1``: every BSE on ``n`` agents
+    has ``rho`` at most this value, because otherwise the grand coalition
+    would deviate to (a relabelling of) the tree.
+    """
+    price = as_alpha(alpha)
+    state = GameState(almost_complete_dary_tree(n, d), price)
+    return max_agent_cost(state) / (price + n - 1)
+
+
+def re_upper_bound_via_prop_3_1(state: GameState) -> Fraction:
+    """Best Proposition 3.1 bound over all nodes of a connected RE graph."""
+    totals = state.dist.totals()
+    best = min(int(value) for value in totals)
+    return proposition_3_1_bound(state.n, state.alpha, best)

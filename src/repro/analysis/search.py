@@ -1,0 +1,160 @@
+"""Witness searches over small graphs.
+
+Two existence claims in Section 2 are supported by drawings whose exact
+graphs matter less than their existence:
+
+* **Proposition 2.3 / Figure 2** — a graph with an edge assignment that is a
+  unilateral Pure Nash Equilibrium but is *not* pairwise stable in the BNCG
+  (refuting the Corbo–Parkes conjecture);
+* **Figure 1b** — witnesses for all eight regions of the RE / BAE / BSwE
+  Venn diagram.
+
+Both are re-derived here by exhaustive search over the connected graph
+atlas; the frozen results live in :mod:`repro.constructions.figures` and
+:mod:`repro.constructions.venn` with tests re-verifying them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro._alpha import AlphaLike
+from repro.core.state import GameState
+from repro.equilibria.add import (
+    is_bilateral_add_equilibrium,
+    is_unilateral_add_equilibrium,
+)
+from repro.equilibria.nash import EdgeAssignment, is_nash_equilibrium
+from repro.equilibria.remove import is_remove_equilibrium, removal_loss
+from repro.equilibria.swap import is_bilateral_swap_equilibrium
+from repro.graphs.generation import all_connected_graphs
+
+__all__ = [
+    "NashWitness",
+    "classify_re_bae_bswe",
+    "search_nash_not_pairwise_stable",
+    "search_venn_witnesses",
+]
+
+
+@dataclass(frozen=True)
+class NashWitness:
+    """A (graph, assignment, alpha) triple refuting the C&P conjecture."""
+
+    graph: nx.Graph
+    assignment: EdgeAssignment
+    alpha: Fraction
+    weak_edge: tuple[int, int]  # edge whose non-owner gains by dropping it
+
+
+def _bilateral_removal_break(state: GameState) -> tuple[int, int] | None:
+    """An edge whose removal benefits one endpoint bilaterally, or None."""
+    for u, v in state.graph.edges:
+        for actor, other in ((u, v), (v, u)):
+            if removal_loss(state, actor, other) < state.alpha:
+                return actor, other
+    return None
+
+
+def search_nash_not_pairwise_stable(
+    sizes: Iterable[int] = (5, 6),
+    alphas: Sequence[AlphaLike] = (2, Fraction(5, 2), 3, Fraction(7, 2), 4, 5),
+    max_results: int = 1,
+) -> list[NashWitness]:
+    """Exhaustive search for Proposition 2.3 witnesses on small graphs.
+
+    Pre-filters (all necessary for a witness): the graph must violate
+    bilateral RE at ``alpha`` (else it stays PS), must satisfy unilateral AE
+    (else no assignment is NE), and every edge must have at least one
+    endpoint whose removal loss reaches ``alpha`` (a possible owner).  The
+    surviving assignment space is enumerated against the exact NE checker.
+    """
+    results: list[NashWitness] = []
+    for n in sizes:
+        for graph in all_connected_graphs(n):
+            for alpha in alphas:
+                state = GameState(graph, alpha)
+                weak = _bilateral_removal_break(state)
+                if weak is None:
+                    continue
+                if not is_unilateral_add_equilibrium(state):
+                    continue
+                allowed_owners: list[list[int]] = []
+                feasible = True
+                for u, v in state.graph.edges:
+                    owners = [
+                        endpoint
+                        for endpoint, other in ((u, v), (v, u))
+                        if not removal_loss(state, endpoint, other)
+                        < state.alpha
+                    ]
+                    if not owners:
+                        feasible = False
+                        break
+                    allowed_owners.append(owners)
+                if not feasible:
+                    continue
+                edges = list(state.graph.edges)
+                for owner_choice in itertools.product(*allowed_owners):
+                    assignment = EdgeAssignment.from_pairs(
+                        (owner, u if owner == v else v)
+                        for owner, (u, v) in zip(owner_choice, edges)
+                    )
+                    if is_nash_equilibrium(state, assignment):
+                        results.append(
+                            NashWitness(
+                                graph=state.graph.copy(),
+                                assignment=assignment,
+                                alpha=state.alpha,
+                                weak_edge=weak,
+                            )
+                        )
+                        if len(results) >= max_results:
+                            return results
+                        break  # one assignment per (graph, alpha) suffices
+    return results
+
+
+def classify_re_bae_bswe(state: GameState) -> tuple[bool, bool, bool]:
+    """Membership triple ``(RE, BAE, BSwE)`` — the Figure 1b coordinates."""
+    return (
+        is_remove_equilibrium(state),
+        is_bilateral_add_equilibrium(state),
+        is_bilateral_swap_equilibrium(state),
+    )
+
+
+def search_venn_witnesses(
+    sizes: Iterable[int] = (3, 4, 5, 6),
+    alphas: Sequence[AlphaLike] = (
+        Fraction(1, 2),
+        1,
+        Fraction(3, 2),
+        2,
+        Fraction(5, 2),
+        3,
+        4,
+        5,
+        7,
+    ),
+) -> dict[tuple[bool, bool, bool], tuple[nx.Graph, Fraction]]:
+    """One ``(graph, alpha)`` witness per RE/BAE/BSwE region (Figure 1b).
+
+    Searches small connected graphs until all eight regions are populated.
+    """
+    found: dict[tuple[bool, bool, bool], tuple[nx.Graph, Fraction]] = {}
+    for n in sizes:
+        for graph in all_connected_graphs(n):
+            for alpha in alphas:
+                state = GameState(graph, alpha)
+                region = classify_re_bae_bswe(state)
+                if region not in found:
+                    found[region] = (state.graph.copy(), state.alpha)
+                    if len(found) == 8:
+                        return found
+    return found

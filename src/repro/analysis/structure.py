@@ -1,0 +1,94 @@
+"""Structural statistics of equilibrium families.
+
+The paper's tree lemmas are really statements about *shape*: BSwE trees
+have depth O((1 + 2α/n) log n) (Lemma 3.4), their layer-2 subtrees hold at
+most α/(l-1) nodes (Lemma 3.5), and 3-BSE trees have at most one deep
+child per node (Lemma 3.14).  This module measures those shapes across
+whole equilibrium families so the benchmarks can compare structure, not
+just cost ratios.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from repro._alpha import AlphaLike, as_alpha
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+from repro.equilibria.registry import check
+from repro.graphs.generation import all_trees
+from repro.graphs.trees import RootedTree
+
+__all__ = ["FamilyShape", "equilibrium_family_shape", "tree_shape"]
+
+
+@dataclass(frozen=True)
+class FamilyShape:
+    """Aggregate shape of all equilibrium trees at one (n, alpha)."""
+
+    n: int
+    alpha: Fraction
+    concept: Concept
+    k: int | None
+    count: int
+    max_depth: int
+    mean_depth: float
+    max_diameter: int
+    max_degree: int
+    lemma_3_4_bound: float
+
+    @property
+    def depth_within_lemma_3_4(self) -> bool:
+        return self.max_depth <= self.lemma_3_4_bound + 1e-9
+
+
+def tree_shape(state: GameState) -> tuple[int, int, int]:
+    """(depth from a 1-median, diameter, max degree) of a tree state."""
+    rooted = RootedTree(state.graph)
+    return (
+        rooted.depth(),
+        state.dist.diameter(),
+        max(degree for _, degree in state.graph.degree),
+    )
+
+
+def equilibrium_family_shape(
+    n: int,
+    alpha: AlphaLike,
+    concept: Concept,
+    k: int | None = None,
+    trees: Iterable | None = None,
+) -> FamilyShape:
+    """Shape statistics over every equilibrium tree on ``n`` nodes."""
+    price = as_alpha(alpha)
+    depths: list[int] = []
+    diameters: list[int] = []
+    degrees: list[int] = []
+    source = all_trees(n) if trees is None else trees
+    for tree in source:
+        state = GameState(tree, price)
+        if not check(state, concept, k=k):
+            continue
+        depth, diameter, degree = tree_shape(state)
+        depths.append(depth)
+        diameters.append(diameter)
+        degrees.append(degree)
+    if not depths:
+        raise ValueError(f"no {concept} trees at n={n}, alpha={price}")
+    bound = (1 + 2 * float(price) / n) * math.log2(n)
+    return FamilyShape(
+        n=n,
+        alpha=price,
+        concept=concept,
+        k=k,
+        count=len(depths),
+        max_depth=max(depths),
+        mean_depth=statistics.fmean(depths),
+        max_diameter=max(diameters),
+        max_degree=max(degrees),
+        lemma_3_4_bound=bound,
+    )

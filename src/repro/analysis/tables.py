@@ -1,0 +1,50 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's Table 1 reports
+(concept, alpha regime, bound, measured value); this module keeps the
+formatting in one place so every benchmark reads uniformly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+__all__ = ["format_value", "render_table"]
+
+
+def format_value(value) -> str:
+    """Compact human formatting for ints, Fractions and floats."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{float(value):.4g}"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Monospace table with a header rule, ready for printing."""
+    text_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)

@@ -1,0 +1,55 @@
+"""Named graph families: optima, worst cases, and the paper's figures."""
+
+from repro.constructions.basic import (
+    almost_complete_dary_tree,
+    clique,
+    complete_binary_tree,
+    complete_dary_tree,
+    cycle,
+    path,
+    star,
+)
+from repro.constructions.spiders import spider, ps_lower_bound_spider
+from repro.constructions.stretched import (
+    StretchedTree,
+    StretchedTreeStar,
+    bge_lower_bound_star,
+    bne_lower_bound_star,
+    max_depth_for_size,
+    stretched_binary_tree,
+    stretched_tree_star,
+)
+from repro.constructions.figures import (
+    figure2_nash_not_pairwise_stable,
+    figure5_bae_bge_not_bne,
+    figure6_bne_not_2bse,
+    figure7_kbse_not_bne,
+    figure8_bae_not_unilateral_ae,
+)
+from repro.constructions.venn import VENN_WITNESSES, venn_witness
+
+__all__ = [
+    "StretchedTree",
+    "StretchedTreeStar",
+    "VENN_WITNESSES",
+    "almost_complete_dary_tree",
+    "bge_lower_bound_star",
+    "bne_lower_bound_star",
+    "clique",
+    "complete_binary_tree",
+    "complete_dary_tree",
+    "cycle",
+    "max_depth_for_size",
+    "figure2_nash_not_pairwise_stable",
+    "figure5_bae_bge_not_bne",
+    "figure6_bne_not_2bse",
+    "figure7_kbse_not_bne",
+    "figure8_bae_not_unilateral_ae",
+    "path",
+    "ps_lower_bound_spider",
+    "spider",
+    "star",
+    "stretched_binary_tree",
+    "stretched_tree_star",
+    "venn_witness",
+]

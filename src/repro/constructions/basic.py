@@ -1,0 +1,84 @@
+"""Elementary families: stars, paths, cycles, cliques, and d-ary trees.
+
+The d-ary trees implement Lemma 3.18's *almost complete d-ary tree*: all
+levels full except the last, which fills left to right.  Every agent there
+buys at most ``d + 1`` edges and sits within ``log_d n`` of everyone, which
+is the even-cost-profile ingredient of the BSE upper bounds
+(Theorems 3.19-3.21).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = [
+    "almost_complete_dary_tree",
+    "clique",
+    "complete_binary_tree",
+    "complete_dary_tree",
+    "cycle",
+    "path",
+    "star",
+]
+
+
+def star(n: int) -> nx.Graph:
+    """A star on ``n`` nodes; node 0 is the center.  Social optimum for
+    ``alpha >= 1`` and an equilibrium for every concept in the paper."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return nx.empty_graph(1)
+    return nx.star_graph(n - 1)
+
+
+def path(n: int) -> nx.Graph:
+    """A path on ``n`` nodes ``0 - 1 - ... - n-1``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return nx.path_graph(n)
+
+
+def cycle(n: int) -> nx.Graph:
+    """The cycle ``C_n`` (Lemma 2.4: in BSE for a Theta(n^2) alpha window)."""
+    if n < 3:
+        raise ValueError("cycles need at least 3 nodes")
+    return nx.cycle_graph(n)
+
+
+def clique(n: int) -> nx.Graph:
+    """The complete graph; unique optimum and unique BSE for ``alpha < 1``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return nx.complete_graph(n)
+
+
+def almost_complete_dary_tree(n: int, d: int) -> nx.Graph:
+    """Almost complete ``d``-ary tree on ``n`` nodes (BFS numbering).
+
+    Node ``i >= 1`` attaches to parent ``(i - 1) // d``; all levels full
+    except possibly the last, filled left to right.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if d < 2:
+        raise ValueError("d must be at least 2 (Lemma 3.18)")
+    graph = nx.empty_graph(n)
+    for node in range(1, n):
+        graph.add_edge(node, (node - 1) // d)
+    return graph
+
+
+def complete_dary_tree(depth: int, d: int) -> nx.Graph:
+    """Complete ``d``-ary tree with all leaves at distance ``depth``."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    if d < 2:
+        raise ValueError("d must be at least 2")
+    n = (d ** (depth + 1) - 1) // (d - 1)
+    return almost_complete_dary_tree(n, d)
+
+
+def complete_binary_tree(depth: int) -> nx.Graph:
+    """Complete binary tree of the given depth (``2^(depth+1) - 1`` nodes)."""
+    return complete_dary_tree(depth, 2)

@@ -1,0 +1,162 @@
+"""The paper's figure graphs, reconstructed and frozen.
+
+Figures 5-8 are drawings; their exact graphs were reconstructed from the
+quantities stated in the accompanying proofs (distance costs, gains, the
+improving moves) and every such quantity is re-verified by the test suite.
+Figure 2 supports a pure existence claim (Proposition 2.3); the frozen
+witness below was found by the exhaustive search in
+:func:`repro.analysis.search.search_nash_not_pairwise_stable` and is smaller
+(n = 5) than the paper's drawing.
+
+Node labels: each constructor returns a :class:`FigureGraph` whose
+``labels`` map the paper's node names (``"a"``, ``"c1"``, ``"e17"``, ...)
+to integer node ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import networkx as nx
+
+from repro.equilibria.nash import EdgeAssignment
+
+__all__ = [
+    "FigureGraph",
+    "figure2_nash_not_pairwise_stable",
+    "figure5_bae_bge_not_bne",
+    "figure6_bne_not_2bse",
+    "figure7_kbse_not_bne",
+    "figure8_bae_not_unilateral_ae",
+]
+
+
+@dataclass(frozen=True)
+class FigureGraph:
+    """A figure's graph, its edge price, and the paper's node names."""
+
+    graph: nx.Graph
+    alpha: Fraction
+    labels: dict[str, int] = field(repr=False)
+    assignment: EdgeAssignment | None = None
+
+    def node(self, name: str) -> int:
+        return self.labels[name]
+
+
+def figure2_nash_not_pairwise_stable() -> FigureGraph:
+    """Proposition 2.3 witness: unilateral NE that is not pairwise stable.
+
+    Triangle ``a-b-c`` with pendant ``p`` on ``a`` and pendant ``q`` on
+    ``c``, ``alpha = 2``.  With the frozen ownership, every agent plays an
+    exact best response (exhaustively verified over all strategies per
+    agent), yet in the bilateral game agent ``a`` strictly improves by
+    dropping edge ``ab``: the removal costs her one unit of distance and
+    saves ``alpha = 2``.  Hence NE does not imply PS — the Corbo–Parkes
+    conjecture fails.
+    """
+    labels = {"a": 0, "b": 1, "c": 2, "q": 3, "p": 4}
+    graph = nx.Graph([(0, 1), (0, 2), (0, 4), (1, 2), (2, 3)])
+    assignment = EdgeAssignment.from_pairs(
+        [(1, 0), (0, 2), (0, 4), (1, 2), (2, 3)]
+    )
+    return FigureGraph(
+        graph=graph, alpha=Fraction(2), labels=labels, assignment=assignment
+    )
+
+
+def figure5_bae_bge_not_bne() -> FigureGraph:
+    """Proposition A.4 witness (Figure 5): in BAE and BGE, not in BNE.
+
+    Center ``a`` carries 100 leaves ``e1..e100`` and two chains
+    ``a - b_i - c_i - d_i``; ``alpha = 104.5``.  Swapping ``a b1`` for
+    ``a c1`` helps ``c1`` by exactly 104 < alpha, so no single swap or add
+    is mutually improving; but the *double* swap (remove ``a b1, a b2``,
+    add ``a c1, a c2``) is a neighborhood move that gains 105 > alpha for
+    each ``c_i`` and 2 for ``a``.
+    """
+    labels: dict[str, int] = {
+        "a": 0, "b1": 1, "b2": 2, "c1": 3, "c2": 4, "d1": 5, "d2": 6,
+    }
+    edges = [(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 6)]
+    for index in range(100):
+        node = 7 + index
+        labels[f"e{index + 1}"] = node
+        edges.append((0, node))
+    return FigureGraph(
+        graph=nx.Graph(edges), alpha=Fraction(209, 2), labels=labels
+    )
+
+
+def figure6_bne_not_2bse() -> FigureGraph:
+    """Proposition A.5 witness (Figure 6): in BNE, not in 2-BSE.
+
+    A six-cycle ``a1 c1 a2 a3 c2 a4`` with a pendant ``b_i`` on each
+    ``a_i``; ``alpha = 7``, ``n = 10``.  Matches the proof's distance costs
+    ``dist(a1) = 19``, ``dist(b1) = 27``, ``dist(c1) = 19``.  The coalition
+    ``{a1, a3}`` removes ``a1 c1`` and ``a3 c2`` and adds ``a1 a3``,
+    improving both (19 -> 17 at unchanged buying cost).
+    """
+    labels = {
+        "a1": 0, "a2": 1, "a3": 2, "a4": 3,
+        "b1": 4, "b2": 5, "b3": 6, "b4": 7,
+        "c1": 8, "c2": 9,
+    }
+    edges = [
+        (0, 8), (8, 1), (1, 2), (2, 9), (9, 3), (3, 0),  # the six-cycle
+        (0, 4), (1, 5), (2, 6), (3, 7),  # pendants b_i on a_i
+    ]
+    return FigureGraph(graph=nx.Graph(edges), alpha=Fraction(7), labels=labels)
+
+
+def figure7_kbse_not_bne(k: int = 2, i: int | None = None) -> FigureGraph:
+    """Proposition A.7 witness (Figure 7): in k-BSE, not in BNE.
+
+    A star of ``i`` three-node legs ``a - b_j - c_j - d_j`` with
+    ``alpha = 4 i - 4`` (the paper uses ``i = 20 k``).  The center's
+    neighborhood move — drop all ``a b_j``, connect to all ``c_j`` — gains
+    ``1 + 4 (i - 1) > alpha`` for every ``c_j`` while no coalition of size
+    ``<= k`` can improve.
+    """
+    if i is None:
+        i = 20 * k
+    if i < 2:
+        raise ValueError("the construction needs at least two legs")
+    labels: dict[str, int] = {"a": 0}
+    edges = []
+    for leg in range(i):
+        b, c, d = 1 + 3 * leg, 2 + 3 * leg, 3 + 3 * leg
+        labels[f"b{leg + 1}"] = b
+        labels[f"c{leg + 1}"] = c
+        labels[f"d{leg + 1}"] = d
+        edges.extend([(0, b), (b, c), (c, d)])
+    return FigureGraph(
+        graph=nx.Graph(edges), alpha=Fraction(4 * i - 4), labels=labels
+    )
+
+
+def figure8_bae_not_unilateral_ae() -> FigureGraph:
+    """Proposition 2.1 witness (Figure 8): in BAE, not in unilateral AE.
+
+    Spider tree: hub ``d`` holds 18 leaves ``e1..e18`` and the node ``c``;
+    ``c`` holds ``b1..b4``; each ``b_i`` holds ``a_i``; ``alpha = 4.5``.
+    No pair gains mutually more than ``alpha`` (the checker confirms BAE),
+    but ``a1`` alone would buy ``a1 d``: it shortcuts her to all 18 leaves,
+    a gain far above alpha — so no edge assignment makes this a unilateral
+    Add Equilibrium.
+    """
+    labels: dict[str, int] = {"d": 0, "c": 1}
+    edges = [(0, 1)]
+    for index in range(4):
+        b, a = 2 + index, 6 + index
+        labels[f"b{index + 1}"] = b
+        labels[f"a{index + 1}"] = a
+        edges.extend([(1, b), (b, a)])
+    for index in range(18):
+        node = 10 + index
+        labels[f"e{index + 1}"] = node
+        edges.append((0, node))
+    return FigureGraph(
+        graph=nx.Graph(edges), alpha=Fraction(9, 2), labels=labels
+    )

@@ -1,0 +1,67 @@
+"""Spiders (stars of paths): the pairwise-stability lower-bound family.
+
+A spider with ``legs`` paths of ``leg_length = L`` nodes each has large
+distance cost (``Theta(n * L)``) yet is pairwise stable once no shortcut
+benefits both endpoints by more than ``alpha``.  The binding shortcut joins
+two leg tips: each tip gains exactly ``L^2`` (the ``j``-th node of the other
+leg gets closer by ``2j - 1``), so ``L = floor(sqrt(alpha))`` is stable and
+``rho = Theta(min(sqrt(alpha), n / sqrt(alpha)))`` — the PS row of Table 1
+(upper bound [14], matching lower bound [19]).
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+__all__ = ["ps_lower_bound_spider", "spider", "tip_to_tip_gain"]
+
+
+def spider(legs: int, leg_length: int) -> nx.Graph:
+    """Star of ``legs`` paths with ``leg_length`` nodes per leg.
+
+    Node 0 is the center; leg ``i`` occupies nodes
+    ``1 + i * leg_length .. (i + 1) * leg_length`` walking outwards.
+    """
+    if legs < 1 or leg_length < 1:
+        raise ValueError("legs and leg_length must be positive")
+    graph = nx.empty_graph(1 + legs * leg_length)
+    for leg in range(legs):
+        previous = 0
+        for step in range(leg_length):
+            node = 1 + leg * leg_length + step
+            graph.add_edge(previous, node)
+            previous = node
+    return graph
+
+
+def tip_to_tip_gain(leg_length: int) -> int:
+    """Mutual distance gain of connecting two leg tips: ``sum (2j-1) = L^2``."""
+    return leg_length**2
+
+
+def ps_lower_bound_spider(n: int, alpha, verify: bool = True) -> nx.Graph:
+    """A spider on at most ``n`` nodes that is pairwise stable at ``alpha``.
+
+    Leg length starts at ``floor(sqrt(alpha))`` (tip-to-tip gain exactly
+    ``alpha`` or below) and, with ``verify=True``, is decreased until the
+    exact PS checker confirms stability — so the returned family is PS *by
+    construction and by certification*.
+    """
+    if n < 3:
+        raise ValueError("n must be at least 3")
+    leg_length = max(1, math.isqrt(max(1, math.floor(alpha))))
+    leg_length = min(leg_length, max(1, (n - 1) // 2))
+    while leg_length >= 1:
+        legs = max(2, (n - 1) // leg_length)
+        graph = spider(legs, leg_length)
+        if not verify:
+            return graph
+        from repro.core.state import GameState
+        from repro.equilibria.pairwise import is_pairwise_stable
+
+        if is_pairwise_stable(GameState(graph, alpha)):
+            return graph
+        leg_length -= 1
+    raise AssertionError("a star (leg_length=1) is always pairwise stable")

@@ -1,0 +1,102 @@
+"""Frozen witnesses for the eight RE / BAE / BSwE regions (Figure 1b).
+
+The paper exhibits graphs ``G1 .. G8`` proving that Remove Equilibria,
+Bilateral Add Equilibria and Bilateral Swap Equilibria are pairwise
+incomparable.  The drawings are not reproducible from the text, so the
+witnesses below were found by the exhaustive search
+:func:`repro.analysis.search.search_venn_witnesses` over the connected
+graph atlas — they establish exactly the same eight non-emptiness claims.
+
+Region keys are ``(in_RE, in_BAE, in_BSwE)`` triples; every entry is
+re-verified by the exact checkers in the test suite and the Figure 1b
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import networkx as nx
+
+__all__ = ["VENN_WITNESSES", "VennWitness", "venn_witness"]
+
+
+@dataclass(frozen=True)
+class VennWitness:
+    """One region of the Figure 1b Venn diagram with a concrete witness."""
+
+    name: str
+    region: tuple[bool, bool, bool]  # (RE, BAE, BSwE)
+    edges: tuple[tuple[int, int], ...]
+    alpha: Fraction
+
+    @property
+    def graph(self) -> nx.Graph:
+        return nx.Graph(list(self.edges))
+
+
+#: All eight regions.  Names follow the paper's G1..G8 ordering by region,
+#: not by the (unknown) drawings.
+VENN_WITNESSES: tuple[VennWitness, ...] = (
+    VennWitness(  # path P3: optimal star at alpha = 1
+        name="G1",
+        region=(True, True, True),
+        edges=((0, 1), (0, 2)),
+        alpha=Fraction(1),
+    ),
+    VennWitness(  # long odd cycle with a chord structure: only a swap helps
+        name="G2",
+        region=(True, True, False),
+        edges=(
+            (0, 1), (0, 5), (1, 2), (1, 6), (2, 3),
+            (3, 4), (4, 5), (5, 6),
+        ),
+        alpha=Fraction(2),
+    ),
+    VennWitness(  # cheap edges: additions improve, removals/swaps do not
+        name="G3",
+        region=(True, False, True),
+        edges=((0, 1), (0, 2)),
+        alpha=Fraction(1, 2),
+    ),
+    VennWitness(  # path P4 at alpha = 1/2: adding and swapping both help
+        name="G4",
+        region=(True, False, False),
+        edges=((0, 1), (0, 3), (1, 2)),
+        alpha=Fraction(1, 2),
+    ),
+    VennWitness(  # triangle at alpha = 3/2: dropping an edge saves alpha
+        name="G5",
+        region=(False, True, True),
+        edges=((0, 1), (0, 2), (1, 2)),
+        alpha=Fraction(3, 2),
+    ),
+    VennWitness(  # 5-cycle with pendant: removal and swap, but no mutual add
+        name="G6",
+        region=(False, True, False),
+        edges=((0, 4), (1, 2), (1, 3), (2, 3), (3, 4)),
+        alpha=Fraction(2),
+    ),
+    VennWitness(  # triangle with two pendants: removal + addition improve
+        name="G7",
+        region=(False, False, True),
+        edges=((0, 1), (0, 2), (0, 4), (1, 2), (2, 3)),
+        alpha=Fraction(3, 2),
+    ),
+    VennWitness(  # everything improves somewhere
+        name="G8",
+        region=(False, False, False),
+        edges=((0, 4), (1, 2), (1, 3), (2, 3), (3, 4)),
+        alpha=Fraction(3, 2),
+    ),
+)
+
+
+def venn_witness(in_re: bool, in_bae: bool, in_bswe: bool) -> VennWitness:
+    """Witness for a given (RE, BAE, BSwE) membership combination."""
+    region = (in_re, in_bae, in_bswe)
+    for witness in VENN_WITNESSES:
+        if witness.region == region:
+            return witness
+    raise KeyError(f"no witness recorded for region {region}")

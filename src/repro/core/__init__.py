@@ -1,0 +1,41 @@
+"""Game core: states, costs, optima, moves, and the concept ladder."""
+
+from repro.core.state import GameState
+from repro.core.costs import (
+    agent_cost,
+    agent_cost_after,
+    cost_strictly_less,
+    social_cost,
+)
+from repro.core.optimum import (
+    optimum_cost,
+    optimum_graph,
+    social_cost_ratio,
+)
+from repro.core.moves import (
+    AddEdge,
+    CoalitionMove,
+    Move,
+    NeighborhoodMove,
+    RemoveEdge,
+    Swap,
+)
+from repro.core.concepts import Concept
+
+__all__ = [
+    "AddEdge",
+    "CoalitionMove",
+    "Concept",
+    "GameState",
+    "Move",
+    "NeighborhoodMove",
+    "RemoveEdge",
+    "Swap",
+    "agent_cost",
+    "agent_cost_after",
+    "cost_strictly_less",
+    "optimum_cost",
+    "optimum_graph",
+    "social_cost",
+    "social_cost_ratio",
+]

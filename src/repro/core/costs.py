@@ -1,0 +1,103 @@
+"""Exact cost comparisons for move evaluation.
+
+An agent's cost is ``alpha * k + d`` with ``k`` the number of bought edges
+and ``d`` an integer distance total.  Comparing two such costs reduces to
+comparing an integer against ``alpha * (k2 - k1)``, which Python evaluates
+exactly on ``Fraction``s — no floating point is involved anywhere in an
+equilibrium decision.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.state import GameState
+from repro.graphs.distances import single_source_distances
+
+__all__ = [
+    "agent_cost",
+    "agent_cost_after",
+    "cost_strictly_less",
+    "social_cost",
+]
+
+
+def cost_strictly_less(
+    buy_count_new: int,
+    dist_new: int,
+    buy_count_old: int,
+    dist_old: int,
+    alpha: Fraction,
+) -> bool:
+    """Whether ``alpha*buy_new + dist_new < alpha*buy_old + dist_old``.
+
+    Exact for any ``Fraction`` alpha and Python-int distances.
+    """
+    return alpha * (buy_count_new - buy_count_old) < dist_old - dist_new
+
+
+def agent_cost(state: GameState, u: int) -> Fraction:
+    """``cost(u)`` in the given state."""
+    return state.cost(u)
+
+
+def agent_cost_after(state: GameState, graph_after, u: int) -> Fraction:
+    """``cost(u)`` in a mutated graph, using the state's ``alpha`` and ``M``.
+
+    ``graph_after`` must keep the node set ``0..n-1``.  One BFS; intended
+    for checking candidate moves without building a full new state.
+    """
+    dist = single_source_distances(graph_after, u, state.m_constant)
+    return state.alpha * graph_after.degree(u) + int(dist.sum())
+
+
+def social_cost(state: GameState) -> Fraction:
+    """Total cost over all agents (also available as a method on the state)."""
+    return state.social_cost()
+
+
+def dist_totals_after(
+    state: GameState, graph_after, agents: list[int]
+) -> dict[int, int]:
+    """Distance totals for several agents in a mutated graph (one BFS each)."""
+    result = {}
+    for agent in agents:
+        vector = single_source_distances(graph_after, agent, state.m_constant)
+        result[agent] = int(vector.sum())
+    return result
+
+
+def strictly_improves(
+    state: GameState, graph_after, u: int
+) -> bool:
+    """Whether agent ``u``'s total cost strictly drops in ``graph_after``."""
+    new_dist = int(
+        single_source_distances(graph_after, u, state.m_constant).sum()
+    )
+    return cost_strictly_less(
+        graph_after.degree(u),
+        new_dist,
+        state.graph.degree(u),
+        state.dist.total(u),
+        state.alpha,
+    )
+
+
+def all_strictly_improve(
+    state: GameState, graph_after, agents
+) -> bool:
+    """Whether every agent in ``agents`` strictly improves in ``graph_after``."""
+    return all(strictly_improves(state, graph_after, u) for u in agents)
+
+
+def max_agent_cost(state: GameState) -> Fraction:
+    """``max_u cost(u)`` — the quantity of Lemma 3.17."""
+    totals = state.dist.totals()
+    degrees = state.degrees()
+    best: Fraction | None = None
+    for u in range(state.n):
+        value = state.alpha * int(degrees[u]) + int(totals[u])
+        if best is None or value > best:
+            best = value
+    assert best is not None
+    return best

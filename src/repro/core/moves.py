@@ -1,0 +1,168 @@
+"""Move datatypes: the strategy changes the solution concepts quantify over.
+
+Every move knows how to ``apply`` itself to a graph (returning a new graph)
+and which agents must strictly benefit for the move to count as *improving*
+under its concept (``beneficiaries``).  Moves double as violation
+certificates: a checker that finds an instability returns the concrete move,
+and tests re-validate it by applying it and comparing exact costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import networkx as nx
+
+__all__ = [
+    "AddEdge",
+    "CoalitionMove",
+    "Move",
+    "NeighborhoodMove",
+    "RemoveEdge",
+    "Swap",
+    "normalize_edge",
+]
+
+
+def normalize_edge(u: int, v: int) -> tuple[int, int]:
+    """Canonical (sorted) endpoint order for an undirected edge."""
+    if u == v:
+        raise ValueError("self-loops are not valid edges")
+    return (u, v) if u < v else (v, u)
+
+
+class Move(Protocol):
+    """Common protocol for all move types."""
+
+    def apply(self, graph: nx.Graph) -> nx.Graph: ...
+
+    def beneficiaries(self) -> Sequence[int]: ...
+
+
+@dataclass(frozen=True)
+class RemoveEdge:
+    """Agent ``actor`` unilaterally drops edge ``actor``–``other``."""
+
+    actor: int
+    other: int
+
+    def apply(self, graph: nx.Graph) -> nx.Graph:
+        result = graph.copy()
+        result.remove_edge(self.actor, self.other)
+        return result
+
+    def beneficiaries(self) -> Sequence[int]:
+        return (self.actor,)
+
+
+@dataclass(frozen=True)
+class AddEdge:
+    """Agents ``u`` and ``v`` jointly create edge ``uv`` (both pay alpha)."""
+
+    u: int
+    v: int
+
+    def apply(self, graph: nx.Graph) -> nx.Graph:
+        if graph.has_edge(self.u, self.v):
+            raise ValueError(f"edge {self.u}-{self.v} already exists")
+        result = graph.copy()
+        result.add_edge(self.u, self.v)
+        return result
+
+    def beneficiaries(self) -> Sequence[int]:
+        return (self.u, self.v)
+
+
+@dataclass(frozen=True)
+class Swap:
+    """``actor`` replaces edge to ``old`` by an edge to ``new``.
+
+    ``new`` consents (and starts paying); ``old`` is not asked.  The actor's
+    buying cost is unchanged, ``new`` pays one extra edge.
+    """
+
+    actor: int
+    old: int
+    new: int
+
+    def apply(self, graph: nx.Graph) -> nx.Graph:
+        if not graph.has_edge(self.actor, self.old):
+            raise ValueError(f"edge {self.actor}-{self.old} not in graph")
+        if graph.has_edge(self.actor, self.new):
+            raise ValueError(f"edge {self.actor}-{self.new} already exists")
+        result = graph.copy()
+        result.remove_edge(self.actor, self.old)
+        result.add_edge(self.actor, self.new)
+        return result
+
+    def beneficiaries(self) -> Sequence[int]:
+        return (self.actor, self.new)
+
+
+@dataclass(frozen=True)
+class NeighborhoodMove:
+    """BNE move: ``center`` removes edges to ``removed`` and adds edges to
+    ``added``; the center and every *added* partner must strictly benefit."""
+
+    center: int
+    removed: tuple[int, ...] = ()
+    added: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if set(self.removed) & set(self.added):
+            raise ValueError("removed and added partners must be disjoint")
+        if self.center in self.removed or self.center in self.added:
+            raise ValueError("the center cannot partner with itself")
+
+    def apply(self, graph: nx.Graph) -> nx.Graph:
+        result = graph.copy()
+        for partner in self.removed:
+            result.remove_edge(self.center, partner)
+        for partner in self.added:
+            if result.has_edge(self.center, partner):
+                raise ValueError(
+                    f"edge {self.center}-{partner} already exists"
+                )
+            result.add_edge(self.center, partner)
+        return result
+
+    def beneficiaries(self) -> Sequence[int]:
+        return (self.center, *self.added)
+
+
+@dataclass(frozen=True)
+class CoalitionMove:
+    """k-BSE move by ``coalition``: delete ``removed_edges`` (each incident
+    to the coalition), add ``added_edges`` (both endpoints inside); every
+    coalition member must strictly benefit."""
+
+    coalition: tuple[int, ...]
+    removed_edges: tuple[tuple[int, int], ...] = ()
+    added_edges: tuple[tuple[int, int], ...] = field(default=())
+
+    def __post_init__(self):
+        members = set(self.coalition)
+        for u, v in self.removed_edges:
+            if u not in members and v not in members:
+                raise ValueError(
+                    f"removed edge {u}-{v} is not incident to the coalition"
+                )
+        for u, v in self.added_edges:
+            if u not in members or v not in members:
+                raise ValueError(
+                    f"added edge {u}-{v} is not inside the coalition"
+                )
+
+    def apply(self, graph: nx.Graph) -> nx.Graph:
+        result = graph.copy()
+        for u, v in self.removed_edges:
+            result.remove_edge(u, v)
+        for u, v in self.added_edges:
+            if result.has_edge(u, v):
+                raise ValueError(f"edge {u}-{v} already exists")
+            result.add_edge(u, v)
+        return result
+
+    def beneficiaries(self) -> Sequence[int]:
+        return self.coalition

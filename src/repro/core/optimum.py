@@ -1,0 +1,74 @@
+"""Social optima of the BNCG (Section 3.1).
+
+* ``alpha < 1``: the clique is the unique optimum,
+  ``cost(OPT) = n (n-1) (1 + alpha)``.
+* ``alpha >= 1``: the star is an optimum (unique for ``alpha > 1``),
+  ``cost(OPT) = 2 (n-1) (alpha + n - 1)``.
+
+At ``alpha = 1`` both formulas agree (``2 n (n-1)``), and any graph of
+diameter at most two is optimal.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import networkx as nx
+
+from repro._alpha import AlphaLike, as_alpha
+from repro.core.state import GameState
+
+__all__ = [
+    "brute_force_optimum_cost",
+    "optimum_cost",
+    "optimum_graph",
+    "social_cost_ratio",
+]
+
+
+def optimum_cost(n: int, alpha: AlphaLike) -> Fraction:
+    """Social cost of a social optimum for ``n`` agents at price ``alpha``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    price = as_alpha(alpha)
+    if n == 1:
+        return Fraction(0)
+    if price < 1:
+        return n * (n - 1) * (1 + price)
+    return 2 * (n - 1) * (price + n - 1)
+
+
+def optimum_graph(n: int, alpha: AlphaLike) -> nx.Graph:
+    """A social optimum: the clique for ``alpha < 1``, else the star."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if as_alpha(alpha) < 1:
+        return nx.complete_graph(n)
+    if n == 1:
+        return nx.empty_graph(1)
+    return nx.star_graph(n - 1)
+
+
+def social_cost_ratio(state: GameState) -> Fraction:
+    """``rho(G) = cost(G) / cost(OPT)``; equals 1 exactly at an optimum."""
+    if state.n == 1:
+        return Fraction(1)
+    return state.social_cost() / optimum_cost(state.n, state.alpha)
+
+
+def brute_force_optimum_cost(n: int, alpha: AlphaLike) -> Fraction:
+    """Minimum social cost over *all* non-isomorphic connected graphs.
+
+    Exponential reference implementation used by the tests to validate the
+    closed-form optimum; supports ``n <= 7`` (graph atlas).
+    """
+    from repro.graphs.generation import all_connected_graphs
+
+    price = as_alpha(alpha)
+    best: Fraction | None = None
+    for graph in all_connected_graphs(n):
+        value = GameState(graph, price).social_cost()
+        if best is None or value < best:
+            best = value
+    assert best is not None
+    return best

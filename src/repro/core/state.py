@@ -1,0 +1,138 @@
+"""Immutable game snapshots: a graph, an edge price, and cached distances.
+
+In equilibrium, BNCG strategy vectors and created graphs are in bijection
+(Section 1.1 of the paper), so a *state* is simply an undirected graph plus
+``alpha``.  ``GameState`` freezes a copy of the graph, normalises ``alpha``
+to an exact :class:`~fractions.Fraction`, fixes the big constant ``M``, and
+lazily caches the all-pairs distance matrix every checker consumes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+import networkx as nx
+import numpy as np
+
+from repro._alpha import AlphaLike, as_alpha, big_m, fits_int64
+from repro.graphs.distances import DistanceMatrix, canonical_labels
+from repro.graphs.trees import is_tree
+
+__all__ = ["GameState"]
+
+
+class GameState:
+    """One state of the Bilateral Network Creation Game.
+
+    Parameters
+    ----------
+    graph:
+        Undirected simple graph; nodes are relabelled to ``0..n-1`` if needed
+        (a copy is always taken — mutating the input later is safe).
+    alpha:
+        Edge price; int, float, ``str`` or ``Fraction`` (kept exact).
+
+    >>> state = GameState(nx.star_graph(3), 2)
+    >>> state.cost(0)            # center: 3 edges bought, distance 3
+    Fraction(9, 1)
+    >>> state.social_cost() == state.optimum_cost()
+    True
+    """
+
+    def __init__(self, graph: nx.Graph, alpha: AlphaLike):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("the game needs at least one agent")
+        if any(u == v for u, v in graph.edges):
+            raise ValueError("self-loops are not part of the game")
+        self.graph = canonical_labels(graph)
+        self.n = self.graph.number_of_nodes()
+        self.alpha: Fraction = as_alpha(alpha)
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.m_constant = big_m(self.n, self.alpha)
+        if not fits_int64(self.m_constant * self.n):
+            raise ValueError(
+                "alpha and n too large for exact int64 distance arithmetic"
+            )
+        self._dist: DistanceMatrix | None = None
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def dist(self) -> DistanceMatrix:
+        """Cached all-pairs distances (``M`` for disconnected pairs)."""
+        if self._dist is None:
+            self._dist = DistanceMatrix(self.graph, self.m_constant)
+        return self._dist
+
+    @property
+    def dist_matrix(self) -> np.ndarray:
+        return self.dist.matrix
+
+    def degree(self, u: int) -> int:
+        return self.graph.degree(u)
+
+    def degrees(self) -> np.ndarray:
+        return np.array([self.graph.degree(u) for u in range(self.n)])
+
+    def is_connected(self) -> bool:
+        return self.n == 1 or nx.is_connected(self.graph)
+
+    def is_tree(self) -> bool:
+        return is_tree(self.graph)
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        return self.graph.edges
+
+    def non_edges(self) -> Iterable[tuple[int, int]]:
+        for u in range(self.n):
+            for v in range(u + 1, self.n):
+                if not self.graph.has_edge(u, v):
+                    yield u, v
+
+    # -- costs --------------------------------------------------------------
+
+    def buy_cost(self, u: int) -> Fraction:
+        """``alpha * |S_u|``; in the graph abstraction ``|S_u| = deg(u)``."""
+        return self.alpha * self.graph.degree(u)
+
+    def dist_cost(self, u: int) -> int:
+        """``dist(u) = sum_v d(u, v)`` with ``M`` per unreachable agent."""
+        return self.dist.total(u)
+
+    def cost(self, u: int) -> Fraction:
+        """``cost(u) = buy(u) + dist(u)``."""
+        return self.buy_cost(u) + self.dist_cost(u)
+
+    def social_cost(self) -> Fraction:
+        """``sum_u cost(u) = 2 * alpha * m + sum_u dist(u)``."""
+        total_dist = int(self.dist.totals().sum())
+        return 2 * self.alpha * self.graph.number_of_edges() + total_dist
+
+    def optimum_cost(self) -> Fraction:
+        from repro.core.optimum import optimum_cost
+
+        return optimum_cost(self.n, self.alpha)
+
+    def rho(self) -> Fraction:
+        """Social cost ratio ``rho(G) = cost(G) / cost(OPT)``."""
+        from repro.core.optimum import social_cost_ratio
+
+        return social_cost_ratio(self)
+
+    # -- derived states ------------------------------------------------------
+
+    def with_graph(self, graph: nx.Graph) -> "GameState":
+        """A new state with the same ``alpha`` but a different graph."""
+        return GameState(graph, self.alpha)
+
+    def apply(self, move) -> "GameState":
+        """State after applying a :class:`repro.core.moves.Move`."""
+        return self.with_graph(move.apply(self.graph))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GameState(n={self.n}, m={self.graph.number_of_edges()}, "
+            f"alpha={self.alpha})"
+        )

@@ -1,0 +1,22 @@
+"""Improving-move dynamics: how decentralised agents reach (or miss) equilibria."""
+
+from repro.dynamics.movegen import improving_moves, move_generator_for
+from repro.dynamics.engine import DynamicsResult, run_dynamics
+from repro.dynamics.convergence import ConvergenceStats, convergence_study
+from repro.dynamics.schedulers import (
+    best_improvement_scheduler,
+    first_improvement_scheduler,
+    random_improvement_scheduler,
+)
+
+__all__ = [
+    "ConvergenceStats",
+    "DynamicsResult",
+    "best_improvement_scheduler",
+    "convergence_study",
+    "first_improvement_scheduler",
+    "improving_moves",
+    "move_generator_for",
+    "random_improvement_scheduler",
+    "run_dynamics",
+]

@@ -1,0 +1,95 @@
+"""Convergence statistics for improving-move dynamics.
+
+The convergence behaviour of network creation dynamics is its own line of
+work (Kawald and Lenzner, SPAA 2013); the paper's conclusion asks how
+agents *reach* the good equilibria its bounds promise.  This module runs
+seeded ensembles of dynamics and aggregates: convergence rate, path
+lengths, final quality, and the approximate-stability factor of the
+starting states.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable
+
+import networkx as nx
+
+from repro._alpha import AlphaLike
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+from repro.dynamics.engine import run_dynamics
+from repro.dynamics.schedulers import Scheduler, first_improvement_scheduler
+
+__all__ = ["ConvergenceStats", "convergence_study"]
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """Aggregate of one dynamics ensemble."""
+
+    concept: Concept
+    runs: int
+    converged: int
+    cycled: int
+    mean_rounds: float
+    mean_final_rho: float
+    worst_final_rho: float
+    mean_start_instability: float  # smallest stabilising beta at the start
+
+    @property
+    def convergence_rate(self) -> float:
+        return self.converged / self.runs
+
+
+def convergence_study(
+    concept: Concept,
+    n: int,
+    alpha: AlphaLike,
+    runs: int = 20,
+    seed: int = 0,
+    max_rounds: int = 2000,
+    scheduler: Scheduler = first_improvement_scheduler,
+    start_factory: Callable[[random.Random], nx.Graph] | None = None,
+) -> ConvergenceStats:
+    """Run ``runs`` seeded dynamics from random trees (or a custom start
+    factory) and aggregate convergence statistics."""
+    # imported here to avoid the dynamics <-> equilibria package cycle
+    from repro.equilibria.approximate import stability_factor
+    from repro.graphs.generation import random_tree
+
+    if start_factory is None:
+        start_factory = lambda rng: random_tree(n, rng)  # noqa: E731
+    converged = 0
+    cycled = 0
+    rounds: list[int] = []
+    rhos: list[Fraction] = []
+    instabilities: list[float] = []
+    for index in range(runs):
+        rng = random.Random(seed * 100_003 + index)
+        start = start_factory(rng)
+        start_state = GameState(start, alpha)
+        instabilities.append(
+            float(stability_factor(start_state, concept))
+        )
+        result = run_dynamics(
+            start, alpha, concept,
+            scheduler=scheduler, max_rounds=max_rounds, rng=rng,
+        )
+        converged += result.converged
+        cycled += result.cycled
+        rounds.append(result.rounds)
+        rhos.append(result.final.rho())
+    return ConvergenceStats(
+        concept=concept,
+        runs=runs,
+        converged=converged,
+        cycled=cycled,
+        mean_rounds=statistics.fmean(rounds),
+        mean_final_rho=statistics.fmean(float(r) for r in rhos),
+        worst_final_rho=float(max(rhos)),
+        mean_start_instability=statistics.fmean(instabilities),
+    )

@@ -1,0 +1,85 @@
+"""The dynamics loop: apply improving moves until stability or a cap.
+
+Improving dynamics in the BNCG need not converge in general (states can
+cycle), so the engine records the full trajectory, detects revisited states,
+and reports whether it stopped at an equilibrium, in a cycle, or at the
+round cap.  When it stops because no improving move exists, the final state
+*is* an equilibrium of the concept by construction — the tests double-check
+this against the exact checkers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import networkx as nx
+
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+from repro.dynamics.movegen import improving_moves
+from repro.dynamics.schedulers import Scheduler, first_improvement_scheduler
+
+__all__ = ["DynamicsResult", "run_dynamics"]
+
+
+@dataclass
+class DynamicsResult:
+    """Trajectory of one dynamics run."""
+
+    final: GameState
+    moves: list = field(default_factory=list)
+    social_costs: list[Fraction] = field(default_factory=list)
+    converged: bool = False
+    cycled: bool = False
+    rounds: int = 0
+
+    @property
+    def rho_trace(self) -> list[Fraction]:
+        from repro.core.optimum import optimum_cost
+
+        opt = optimum_cost(self.final.n, self.final.alpha)
+        return [cost / opt for cost in self.social_costs]
+
+
+def _graph_key(graph: nx.Graph) -> frozenset:
+    return frozenset(frozenset(edge) for edge in graph.edges)
+
+
+def run_dynamics(
+    graph: nx.Graph,
+    alpha,
+    concept: Concept,
+    scheduler: Scheduler = first_improvement_scheduler,
+    max_rounds: int = 10_000,
+    rng: random.Random | None = None,
+) -> DynamicsResult:
+    """Run improving-move dynamics under ``concept`` from ``graph``.
+
+    Returns a :class:`DynamicsResult`; ``converged`` means the final state
+    admits no improving move of the concept's move space (within the
+    generator's documented budget for BNE/BSE).
+    """
+    if rng is None:
+        rng = random.Random(0)
+    state = GameState(graph, alpha)
+    result = DynamicsResult(final=state)
+    result.social_costs.append(state.social_cost())
+    seen = {_graph_key(state.graph)}
+    for _ in range(max_rounds):
+        move = scheduler(state, improving_moves(state, concept, rng), rng)
+        if move is None:
+            result.converged = True
+            break
+        state = state.apply(move)
+        result.moves.append(move)
+        result.social_costs.append(state.social_cost())
+        result.rounds += 1
+        key = _graph_key(state.graph)
+        if key in seen:
+            result.cycled = True
+            break
+        seen.add(key)
+    result.final = state
+    return result

@@ -1,0 +1,159 @@
+"""Enumerate improving moves for each solution concept.
+
+Each generator yields *certified* improving moves of the concept's move
+type(s) in the given state.  The dynamics engine consumes these lazily, so
+schedulers can stop at the first move or drain the generator to choose the
+best one.
+
+The move spaces mirror the concept definitions:
+
+* ``RE``   — single removals;
+* ``BAE``  — single mutual additions;
+* ``PS``   — removals + additions;
+* ``BSWE`` — swaps only;
+* ``BGE``  — removals + additions + swaps;
+* ``BNE``  — bounded neighborhood moves (exhaustive within small budgets);
+* ``BSE``  — bounded coalition moves (via :func:`probe_coalition_moves`
+  sampling, since exhaustive generation is exponential).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro._alpha import strict_gt_threshold
+from repro.core.concepts import Concept
+from repro.core.moves import AddEdge, Move, RemoveEdge, Swap
+from repro.core.state import GameState
+from repro.equilibria.add import pairwise_add_gains
+from repro.equilibria.neighborhood import find_improving_neighborhood_move
+from repro.equilibria.strong import probe_coalition_moves
+from repro.equilibria.swap import swap_gains
+from repro.graphs.distances import removed_edge_dist_vector
+from repro.graphs.trees import tree_split_masks
+
+__all__ = ["improving_moves", "move_generator_for"]
+
+
+def _improving_removals(state: GameState) -> Iterator[RemoveEdge]:
+    for u, v in list(state.graph.edges):
+        for actor, other in ((u, v), (v, u)):
+            after = removed_edge_dist_vector(
+                state.graph, actor, other, state.m_constant
+            )
+            loss = int((after - state.dist.row(actor)).sum())
+            if loss < state.alpha:
+                yield RemoveEdge(actor=actor, other=other)
+                break  # the edge can only be removed once
+
+
+def _improving_additions(state: GameState) -> Iterator[AddEdge]:
+    threshold = strict_gt_threshold(state.alpha)
+    gains = pairwise_add_gains(state)
+    mutual = (gains >= threshold) & (gains.T >= threshold)
+    for u, v in np.argwhere(np.triu(mutual, k=1)):
+        u, v = int(u), int(v)
+        if not state.graph.has_edge(u, v):
+            yield AddEdge(u, v)
+
+
+def _improving_swaps_tree(state: GameState) -> Iterator[Swap]:
+    dist = state.dist_matrix
+    totals = dist.sum(axis=1)
+    threshold = strict_gt_threshold(state.alpha)
+    n = state.n
+    for a, b in list(state.graph.edges):
+        mask_a, mask_b = tree_split_masks(state.graph, a, b, n)
+        sums_b = dist @ mask_b.astype(np.int64)
+        sums_a = totals - sums_b
+        size_a = int(mask_a.sum())
+        size_b = n - size_a
+        for actor, old, far_mask, far_sums, far_size, near_sums, near_size in (
+            (a, b, mask_b, sums_b, size_b, sums_a, size_a),
+            (b, a, mask_a, sums_a, size_a, sums_b, size_b),
+        ):
+            gain_actor = int(far_sums[actor]) - far_size - far_sums
+            gain_partner = near_sums - near_size - int(near_sums[actor])
+            viable = (gain_actor >= 1) & (gain_partner >= threshold) & far_mask
+            viable[old] = False
+            for new in np.flatnonzero(viable):
+                yield Swap(actor=actor, old=old, new=int(new))
+
+
+def _improving_swaps_general(state: GameState) -> Iterator[Swap]:
+    threshold = strict_gt_threshold(state.alpha)
+    for a, b in list(state.graph.edges):
+        for actor, old in ((a, b), (b, a)):
+            for new in range(state.n):
+                if new in (actor, old) or state.graph.has_edge(actor, new):
+                    continue
+                gain_actor, gain_new = swap_gains(state, actor, old, new)
+                if gain_actor >= 1 and gain_new >= threshold:
+                    yield Swap(actor=actor, old=old, new=new)
+
+
+def _improving_swaps(state: GameState) -> Iterator[Swap]:
+    if state.is_tree():
+        yield from _improving_swaps_tree(state)
+    else:
+        yield from _improving_swaps_general(state)
+
+
+def _improving_neighborhood(state: GameState, rng: random.Random | None):
+    move = find_improving_neighborhood_move(state, max_evaluations=200_000)
+    if move is not None:
+        yield move
+
+
+def _improving_coalitions(state: GameState, rng: random.Random | None):
+    generator = rng if rng is not None else random.Random(0)
+    move = probe_coalition_moves(
+        state, generator, max_coalition_size=min(state.n, 4), samples=500
+    )
+    if move is not None:
+        yield move
+
+
+def improving_moves(
+    state: GameState,
+    concept: Concept,
+    rng: random.Random | None = None,
+) -> Iterator[Move]:
+    """All improving moves of ``concept``'s move space in ``state``.
+
+    BNE and BSE generation is budgeted/sampled (see module docstring); the
+    polynomial concepts enumerate exhaustively.
+    """
+    if concept == Concept.RE:
+        yield from _improving_removals(state)
+    elif concept == Concept.BAE:
+        yield from _improving_additions(state)
+    elif concept == Concept.PS:
+        yield from _improving_removals(state)
+        yield from _improving_additions(state)
+    elif concept == Concept.BSWE:
+        yield from _improving_swaps(state)
+    elif concept == Concept.BGE:
+        yield from _improving_removals(state)
+        yield from _improving_additions(state)
+        yield from _improving_swaps(state)
+    elif concept == Concept.BNE:
+        yield from _improving_neighborhood(state, rng)
+    elif concept == Concept.BSE:
+        yield from _improving_coalitions(state, rng)
+    else:
+        raise ValueError(f"no move generator for {concept}")
+
+
+def move_generator_for(
+    concept: Concept,
+) -> Callable[[GameState, random.Random | None], Iterator[Move]]:
+    """Curried form of :func:`improving_moves` for one concept."""
+
+    def generate(state: GameState, rng: random.Random | None = None):
+        return improving_moves(state, concept, rng)
+
+    return generate

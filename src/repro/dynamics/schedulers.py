@@ -1,0 +1,60 @@
+"""Schedulers: which improving move fires when several are available.
+
+A scheduler maps a non-empty iterator of improving moves to the move to
+apply.  Determinism: ``first`` is fully deterministic; ``random`` is
+deterministic given its ``random.Random``; ``best`` breaks ties by move
+order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, Optional
+
+from repro.core.costs import agent_cost_after
+from repro.core.moves import Move
+from repro.core.state import GameState
+
+__all__ = [
+    "Scheduler",
+    "best_improvement_scheduler",
+    "first_improvement_scheduler",
+    "random_improvement_scheduler",
+]
+
+Scheduler = Callable[[GameState, Iterator[Move], random.Random], Optional[Move]]
+
+
+def first_improvement_scheduler(
+    state: GameState, moves: Iterator[Move], rng: random.Random
+) -> Move | None:
+    """The first improving move in enumeration order."""
+    return next(iter(moves), None)
+
+
+def random_improvement_scheduler(
+    state: GameState, moves: Iterator[Move], rng: random.Random
+) -> Move | None:
+    """A uniformly random improving move (drains the generator)."""
+    pool = list(moves)
+    if not pool:
+        return None
+    return pool[rng.randrange(len(pool))]
+
+
+def best_improvement_scheduler(
+    state: GameState, moves: Iterator[Move], rng: random.Random
+) -> Move | None:
+    """The move with the largest total cost drop over its beneficiaries."""
+    best_move: Move | None = None
+    best_drop = None
+    for move in moves:
+        graph_after = move.apply(state.graph)
+        drop = sum(
+            state.cost(agent) - agent_cost_after(state, graph_after, agent)
+            for agent in move.beneficiaries()
+        )
+        if best_drop is None or drop > best_drop:
+            best_move = move
+            best_drop = drop
+    return best_move

@@ -1,0 +1,80 @@
+"""Equilibrium checkers for every solution concept of the paper.
+
+Each module exposes two flavours per concept:
+
+* ``find_improving_*`` — returns a concrete improving move (a *violation
+  certificate*) or ``None``;
+* ``is_*`` — boolean convenience wrapper.
+
+Polynomial checkers (RE, AE/BAE, PS, BSwE, BGE) are exact at any size.
+Exponential ones (BNE, k-BSE, BSE, unilateral NE) are exact within explicit
+search guards and are complemented by randomized probing refuters.
+"""
+
+from repro.equilibria.approximate import (
+    is_approximate_equilibrium,
+    move_improvement_factor,
+    stability_factor,
+)
+from repro.equilibria.certificates import StabilityReport, validate_certificate
+from repro.equilibria.diagnose import diagnose
+from repro.equilibria.remove import find_improving_removal, is_remove_equilibrium
+from repro.equilibria.add import (
+    find_improving_bilateral_add,
+    find_improving_unilateral_add,
+    is_bilateral_add_equilibrium,
+    is_unilateral_add_equilibrium,
+)
+from repro.equilibria.swap import find_improving_swap, is_bilateral_swap_equilibrium
+from repro.equilibria.pairwise import (
+    is_bilateral_greedy_equilibrium,
+    is_pairwise_stable,
+)
+from repro.equilibria.neighborhood import (
+    find_improving_neighborhood_move,
+    is_neighborhood_equilibrium,
+    probe_neighborhood_moves,
+)
+from repro.equilibria.strong import (
+    find_improving_coalition_move,
+    is_k_strong_equilibrium,
+    is_strong_equilibrium,
+    probe_coalition_moves,
+)
+from repro.equilibria.nash import (
+    EdgeAssignment,
+    best_response,
+    is_nash_equilibrium,
+)
+from repro.equilibria.registry import check, checker_for
+
+__all__ = [
+    "EdgeAssignment",
+    "StabilityReport",
+    "best_response",
+    "check",
+    "checker_for",
+    "diagnose",
+    "is_approximate_equilibrium",
+    "move_improvement_factor",
+    "stability_factor",
+    "find_improving_bilateral_add",
+    "find_improving_coalition_move",
+    "find_improving_neighborhood_move",
+    "find_improving_removal",
+    "find_improving_swap",
+    "find_improving_unilateral_add",
+    "is_bilateral_add_equilibrium",
+    "is_bilateral_greedy_equilibrium",
+    "is_bilateral_swap_equilibrium",
+    "is_k_strong_equilibrium",
+    "is_nash_equilibrium",
+    "is_neighborhood_equilibrium",
+    "is_pairwise_stable",
+    "is_remove_equilibrium",
+    "is_strong_equilibrium",
+    "is_unilateral_add_equilibrium",
+    "probe_coalition_moves",
+    "probe_neighborhood_moves",
+    "validate_certificate",
+]

@@ -1,0 +1,95 @@
+"""(Bilateral) Add Equilibria: stability against creating one new edge.
+
+Adding edge ``uv`` changes ``u``'s distances by the exact one-edge identity
+``d'(u, w) = min(d(u, w), 1 + d(v, w))``, so the distance gain of each
+endpoint is a relu-sum over one row difference of the APSP matrix.  The
+whole check is a vectorised ``O(n^3)`` integer computation — exact at any
+size we run.
+
+* **BAE** (bilateral): edge ``uv`` is an improving move iff *both* endpoints
+  gain strictly more than ``alpha``.
+* **unilateral AE** (Section 2 reference): agent ``u`` alone pays, so a
+  single gain above ``alpha`` already breaks stability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._alpha import strict_gt_threshold
+from repro.core.moves import AddEdge
+from repro.core.state import GameState
+
+__all__ = [
+    "add_gain",
+    "find_improving_bilateral_add",
+    "find_improving_unilateral_add",
+    "is_bilateral_add_equilibrium",
+    "is_unilateral_add_equilibrium",
+    "pairwise_add_gains",
+]
+
+
+def add_gain(state: GameState, u: int, v: int) -> int:
+    """Distance gain of agent ``u`` when edge ``uv`` is created."""
+    return state.dist.add_gain(u, v)
+
+
+def pairwise_add_gains(state: GameState) -> np.ndarray:
+    """Matrix ``G`` with ``G[u, v]`` = distance gain of ``u`` from edge ``uv``.
+
+    ``G`` is not symmetric.  Entries on the diagonal and for existing edges
+    are meaningless and set to zero.
+    """
+    dist = state.dist_matrix
+    n = state.n
+    gains = np.zeros((n, n), dtype=np.int64)
+    for u in range(n):
+        improvement = dist[u][None, :] - dist - 1  # row v: against partner v
+        np.maximum(improvement, 0, out=improvement)
+        gains[u] = improvement.sum(axis=1)
+    gains[np.arange(n), np.arange(n)] = 0
+    for u, v in state.graph.edges:
+        gains[u, v] = 0
+        gains[v, u] = 0
+    return gains
+
+
+def _candidate_pairs(state: GameState, threshold: int):
+    """Non-edges whose *both-way* gains reach ``threshold``, ascending."""
+    gains = pairwise_add_gains(state)
+    both = (gains >= threshold) & (gains.T >= threshold)
+    candidates = np.argwhere(np.triu(both, k=1))
+    return gains, [tuple(map(int, pair)) for pair in candidates]
+
+
+def find_improving_bilateral_add(state: GameState) -> AddEdge | None:
+    """First mutually improving edge addition, or ``None`` (exact)."""
+    threshold = strict_gt_threshold(state.alpha)
+    _, candidates = _candidate_pairs(state, threshold)
+    for u, v in candidates:
+        if not state.graph.has_edge(u, v):
+            return AddEdge(u, v)
+    return None
+
+
+def is_bilateral_add_equilibrium(state: GameState) -> bool:
+    """Exact BAE check."""
+    return find_improving_bilateral_add(state) is None
+
+
+def find_improving_unilateral_add(state: GameState) -> AddEdge | None:
+    """First unilaterally improving addition (only the buyer pays)."""
+    threshold = strict_gt_threshold(state.alpha)
+    gains = pairwise_add_gains(state)
+    either = (gains >= threshold) | (gains.T >= threshold)
+    for u, v in np.argwhere(np.triu(either, k=1)):
+        u, v = int(u), int(v)
+        if not state.graph.has_edge(u, v):
+            return AddEdge(u, v)
+    return None
+
+
+def is_unilateral_add_equilibrium(state: GameState) -> bool:
+    """Exact unilateral Add Equilibrium check (assignment-independent)."""
+    return find_improving_unilateral_add(state) is None

@@ -1,0 +1,86 @@
+"""beta-approximate stability — how far from equilibrium is a state?
+
+For the unilateral NCG, Lenzner [32] showed that greedy-stable graphs are
+3-approximate Nash equilibria.  The bilateral analogue is useful here as a
+*measurement* device: a state is in beta-approximate X-equilibrium if no
+improving move of X's move space lowers some required beneficiary's cost by
+a factor greater than ``beta``, i.e. for every move some beneficiary has
+
+    cost_after * beta >= cost_before.
+
+``beta = 1`` recovers the exact concepts; the smallest stabilising beta,
+found by :func:`stability_factor`, quantifies instability — the dynamics
+benchmarks use it to show how far random networks start from stability and
+how the gap closes along improving paths.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from repro._alpha import AlphaLike, as_alpha
+from repro.core.concepts import Concept
+from repro.core.costs import agent_cost_after
+from repro.core.moves import Move
+from repro.core.state import GameState
+from repro.dynamics.movegen import improving_moves
+
+__all__ = [
+    "is_approximate_equilibrium",
+    "move_improvement_factor",
+    "stability_factor",
+]
+
+
+def move_improvement_factor(state: GameState, move: Move) -> Fraction:
+    """The *smallest* beneficiary improvement factor of a move.
+
+    A move strictly improves every beneficiary iff this factor exceeds 1;
+    a state is beta-approximately stable against the move iff the factor
+    is at most beta.
+    """
+    graph_after = move.apply(state.graph)
+    factor: Fraction | None = None
+    for agent in move.beneficiaries():
+        before = state.cost(agent)
+        after = agent_cost_after(state, graph_after, agent)
+        if after <= 0:
+            raise ValueError("costs must stay positive")
+        ratio = Fraction(before) / Fraction(after)
+        if factor is None or ratio < factor:
+            factor = ratio
+    assert factor is not None
+    return factor
+
+
+def is_approximate_equilibrium(
+    state: GameState,
+    concept: Concept,
+    beta: AlphaLike,
+) -> bool:
+    """Whether no move of ``concept``'s move space improves its whole
+    beneficiary set by a factor above ``beta`` (``beta = 1``: exact)."""
+    bound = as_alpha(beta)
+    if bound < 1:
+        raise ValueError("beta must be at least 1")
+    for move in improving_moves(state, concept):
+        if move_improvement_factor(state, move) > bound:
+            return False
+    return True
+
+
+def stability_factor(
+    state: GameState,
+    concept: Concept,
+    moves: Iterable[Move] | None = None,
+) -> Fraction:
+    """The smallest beta making the state beta-approximately stable.
+
+    Returns 1 when the state is an exact equilibrium of the concept.
+    """
+    worst = Fraction(1)
+    pool = improving_moves(state, concept) if moves is None else moves
+    for move in pool:
+        worst = max(worst, move_improvement_factor(state, move))
+    return worst

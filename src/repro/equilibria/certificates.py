@@ -1,0 +1,53 @@
+"""Violation certificates and their independent re-validation.
+
+A checker never just says "unstable": it returns the concrete improving move.
+:func:`validate_certificate` re-derives every beneficiary's cost before and
+after the move from scratch (fresh BFS, exact Fractions) so a bug in a
+checker's fast path cannot silently fabricate an instability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.costs import agent_cost_after
+from repro.core.moves import Move
+from repro.core.state import GameState
+
+__all__ = ["StabilityReport", "validate_certificate"]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Outcome of an equilibrium check.
+
+    ``stable`` is ``True`` when no improving move was found *within the
+    documented search scope* of the checker; ``certificate`` carries the
+    violating move otherwise.  ``exhaustive`` records whether the scope
+    covered the full move space of the concept (polynomial checkers always
+    do; guarded exponential ones may not).
+    """
+
+    stable: bool
+    certificate: Move | None = None
+    exhaustive: bool = True
+    note: str = ""
+
+    def __bool__(self) -> bool:
+        return self.stable
+
+
+def validate_certificate(state: GameState, move: Move) -> bool:
+    """Re-check from scratch that ``move`` strictly improves each beneficiary.
+
+    Costs are recomputed with fresh BFS runs on the mutated graph and the
+    original graph; all comparisons are exact.
+    """
+    graph_after = move.apply(state.graph)
+    for agent in move.beneficiaries():
+        before: Fraction = state.cost(agent)
+        after: Fraction = agent_cost_after(state, graph_after, agent)
+        if not after < before:
+            return False
+    return True

@@ -1,0 +1,144 @@
+"""Unilateral NCG: edge ownership, best responses, and Pure Nash Equilibria.
+
+In the unilateral game every edge is bought by exactly one endpoint (the
+simplifying assumption of Section 2).  A state is a graph plus an
+:class:`EdgeAssignment` mapping each edge to its owner; agent ``u``'s
+strategy is the set of targets she owns.  A deviation replaces her whole
+strategy: edges owned by *others* persist no matter what ``u`` plays.
+
+Computing a best response in the NCG is NP-hard in general, so the exact
+checker enumerates all ``2^(n-1)`` strategies per agent and is guarded to
+small ``n`` — exactly what the Figure 2 / Proposition 2.3 experiments need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+
+import networkx as nx
+
+from repro.core.moves import normalize_edge
+from repro.core.state import GameState
+from repro.graphs.distances import single_source_distances
+
+__all__ = [
+    "EdgeAssignment",
+    "best_response",
+    "is_nash_equilibrium",
+    "is_unilateral_remove_equilibrium",
+    "strategy_cost",
+]
+
+_MAX_EXACT_N = 16
+
+
+@dataclass(frozen=True)
+class EdgeAssignment:
+    """Owner of every edge; owners must be incident to their edge."""
+
+    owner: dict[tuple[int, int], int]
+
+    @staticmethod
+    def from_pairs(pairs) -> "EdgeAssignment":
+        """Build from ``(owner, target)`` pairs."""
+        owner = {}
+        for buyer, target in pairs:
+            owner[normalize_edge(buyer, target)] = buyer
+        return EdgeAssignment(owner=owner)
+
+    def validate(self, graph: nx.Graph) -> None:
+        edges = {normalize_edge(u, v) for u, v in graph.edges}
+        if set(self.owner) != edges:
+            raise ValueError("assignment must cover exactly the graph's edges")
+        for (u, v), who in self.owner.items():
+            if who not in (u, v):
+                raise ValueError(f"owner {who} not incident to edge {u}-{v}")
+
+    def strategy(self, agent: int) -> frozenset[int]:
+        """Targets bought by ``agent``."""
+        return frozenset(
+            (v if u == agent else u)
+            for (u, v), who in self.owner.items()
+            if who == agent
+        )
+
+    def owned_by_others(self, agent: int) -> list[tuple[int, int]]:
+        """Edges that persist regardless of ``agent``'s strategy."""
+        return [edge for edge, who in self.owner.items() if who != agent]
+
+
+def strategy_cost(
+    state: GameState,
+    assignment: EdgeAssignment,
+    agent: int,
+    strategy: frozenset[int],
+) -> Fraction:
+    """Cost of ``agent`` if she unilaterally plays ``strategy``.
+
+    The induced graph keeps all edges owned by other agents and adds
+    ``agent``'s bought edges; double-bought edges still cost her ``alpha``
+    each (she pays per target, not per realised edge).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(state.n))
+    graph.add_edges_from(assignment.owned_by_others(agent))
+    for target in strategy:
+        graph.add_edge(agent, target)
+    dist = single_source_distances(graph, agent, state.m_constant)
+    return state.alpha * len(strategy) + int(dist.sum())
+
+
+def best_response(
+    state: GameState,
+    assignment: EdgeAssignment,
+    agent: int,
+) -> tuple[Fraction, frozenset[int]]:
+    """Exact best response of ``agent`` (exhaustive over all strategies).
+
+    Guarded to ``n <= 16``: the search space is ``2^(n-1)`` strategies.
+    """
+    if state.n > _MAX_EXACT_N:
+        raise ValueError(
+            f"exact best response supported only for n <= {_MAX_EXACT_N}"
+        )
+    others = [v for v in range(state.n) if v != agent]
+    best_cost: Fraction | None = None
+    best_strategy: frozenset[int] = frozenset()
+    for size in range(len(others) + 1):
+        for combo in itertools.combinations(others, size):
+            strategy = frozenset(combo)
+            cost = strategy_cost(state, assignment, agent, strategy)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_strategy = strategy
+    assert best_cost is not None
+    return best_cost, best_strategy
+
+
+def is_nash_equilibrium(state: GameState, assignment: EdgeAssignment) -> bool:
+    """Exact unilateral Pure Nash check for ``(G, f)`` (small ``n`` only)."""
+    assignment.validate(state.graph)
+    for agent in range(state.n):
+        current = strategy_cost(
+            state, assignment, agent, assignment.strategy(agent)
+        )
+        optimal, _ = best_response(state, assignment, agent)
+        if optimal < current:
+            return False
+    return True
+
+
+def is_unilateral_remove_equilibrium(
+    state: GameState, assignment: EdgeAssignment
+) -> bool:
+    """No owner gains by dropping one of *her own* edges (Prop. 2.2 uses
+    the quantification over all assignments; this checks a fixed one)."""
+    assignment.validate(state.graph)
+    for (u, v), owner in assignment.owner.items():
+        other = v if owner == u else u
+        loss = state.dist.remove_loss(owner, other)
+        if loss < state.alpha:
+            return False
+    return True

@@ -1,0 +1,113 @@
+"""Best-response dynamics for the unilateral NCG with edge ownership.
+
+Used to *sample* unilateral Pure Nash Equilibria: agents take turns playing
+an exact best response (exhaustive over their strategy space, so only small
+``n``); a full round without any strict improvement certifies an NE.  This
+gives the Section 2 comparisons a supply of genuine NE instances beyond
+hand-built ones — e.g. the Corbo–Parkes refutation can be replayed against
+dynamics-sampled equilibria.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.state import GameState
+from repro.equilibria.nash import (
+    EdgeAssignment,
+    best_response,
+    strategy_cost,
+)
+
+__all__ = ["UnilateralOutcome", "unilateral_best_response_dynamics"]
+
+
+@dataclass(frozen=True)
+class UnilateralOutcome:
+    """Result of a unilateral best-response run."""
+
+    graph: nx.Graph
+    assignment: EdgeAssignment
+    converged: bool
+    rounds: int
+
+    def state(self, alpha) -> GameState:
+        return GameState(self.graph, alpha)
+
+
+def _strategies_to_instance(
+    n: int, strategies: dict[int, frozenset[int]]
+) -> tuple[nx.Graph, EdgeAssignment]:
+    """Create the graph and a covering ownership from strategy sets.
+
+    In the unilateral game an edge exists iff either side buys it; if both
+    do, ownership is attributed to the smaller id (the duplicate payment
+    disappears at equilibrium anyway, since one side would drop it).
+    """
+    graph = nx.empty_graph(n)
+    owner: dict[tuple[int, int], int] = {}
+    for agent, targets in strategies.items():
+        for target in targets:
+            edge = (agent, target) if agent < target else (target, agent)
+            graph.add_edge(*edge)
+            if edge not in owner or agent < owner[edge]:
+                owner[edge] = agent
+    return graph, EdgeAssignment(owner=owner)
+
+
+def unilateral_best_response_dynamics(
+    n: int,
+    alpha,
+    rng: random.Random,
+    max_rounds: int = 60,
+    start: nx.Graph | None = None,
+) -> UnilateralOutcome:
+    """Round-robin exact best responses from a random (or given) start.
+
+    Ownership starts at the smaller endpoint of every edge.  Each round
+    visits the agents in random order; convergence means a full round with
+    no strict improvement, which is a Pure Nash Equilibrium by definition.
+    Exponential per response (``2^(n-1)``), so ``n <= 12`` in practice.
+    """
+    if start is None:
+        from repro.graphs.generation import random_tree
+
+        start = random_tree(n, rng)
+    strategies: dict[int, frozenset[int]] = {u: frozenset() for u in range(n)}
+    for u, v in start.edges:
+        low, high = (u, v) if u < v else (v, u)
+        strategies[low] = strategies[low] | {high}
+
+    rounds = 0
+    converged = False
+    for _ in range(max_rounds):
+        rounds += 1
+        improved = False
+        order = list(range(n))
+        rng.shuffle(order)
+        for agent in order:
+            graph, assignment = _strategies_to_instance(n, strategies)
+            state = GameState(graph, alpha)
+            current = strategy_cost(
+                state, assignment, agent, assignment.strategy(agent)
+            )
+            optimal, strategy = best_response(state, assignment, agent)
+            if optimal < current:
+                improved = True
+                strategies[agent] = strategy
+                # drop other agents' duplicate purchases of agent's edges
+                for other in range(n):
+                    if other != agent and agent in strategies[other]:
+                        if other in strategies[agent]:
+                            strategies[other] = strategies[other] - {agent}
+        if not improved:
+            converged = True
+            break
+    graph, assignment = _strategies_to_instance(n, strategies)
+    return UnilateralOutcome(
+        graph=graph, assignment=assignment, converged=converged,
+        rounds=rounds,
+    )

@@ -1,0 +1,186 @@
+"""Bilateral Neighborhood Equilibrium (BNE) — the bilateral analogue of NE.
+
+A *neighborhood move* around a center ``u`` removes any subset ``R`` of
+``u``'s edges and adds edges to any set ``A`` of new partners; it is
+improving iff ``u`` **and every member of** ``A`` strictly benefit (removed
+partners are not asked).
+
+Checking BNE is exponential in ``deg(u)`` and in the number of plausible
+partners.  The exact checker keeps the search finite with two *sound*
+reductions and an explicit budget:
+
+* **willing-partner pruning** (the paper's own argument, cf. Prop. A.5):
+  every distance improvement for a new partner ``a`` routes through ``u``,
+  so ``a``'s total gain is at most
+  ``sum_x max(0, d(a,x) - 2) + max(0, d(a,u) - 1)``; partners whose bound
+  does not exceed ``alpha`` can never strictly benefit and are discarded;
+* **size pruning**: the center's distance gain is at most
+  ``dist(u) - (n-1)``, so improving moves satisfy
+  ``alpha * (|A| - |R|) < dist(u) - (n - 1)``.
+
+If the remaining space exceeds ``max_evaluations`` the checker raises
+:class:`SearchBudgetExceeded` rather than silently answering — callers fall
+back to the paper's sufficient conditions plus :func:`probe_neighborhood_moves`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Iterable, Sequence
+
+from repro._alpha import strict_gt_threshold
+from repro.core.costs import all_strictly_improve
+from repro.core.moves import NeighborhoodMove
+from repro.core.state import GameState
+
+__all__ = [
+    "SearchBudgetExceeded",
+    "find_improving_neighborhood_move",
+    "is_neighborhood_equilibrium",
+    "partner_gain_upper_bound",
+    "probe_neighborhood_moves",
+    "willing_partners",
+]
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The exact exhaustive search would exceed its evaluation budget."""
+
+
+def partner_gain_upper_bound(state: GameState, partner: int, center: int) -> int:
+    """Sound upper bound on ``partner``'s distance gain in any move around
+    ``center`` that links the two.
+
+    Every strictly shorter path for ``partner`` passes through ``center``
+    (all changed edges are incident to ``center``), hence ends at distance at
+    least 2 — except the distance to ``center`` itself, which can drop to 1.
+    """
+    row = state.dist.row(partner)
+    slack = row - 2
+    bound = int(slack[slack > 0].sum())
+    # correct the center term: admissible floor is 1, not 2
+    to_center = int(row[center])
+    bound -= max(0, to_center - 2)
+    bound += max(0, to_center - 1)
+    return bound
+
+
+def willing_partners(state: GameState, center: int) -> list[int]:
+    """Non-neighbors of ``center`` that could conceivably gain more than
+    ``alpha`` from joining a neighborhood move (sound over-approximation)."""
+    threshold = strict_gt_threshold(state.alpha)
+    neighbors = set(state.graph.neighbors(center))
+    result = []
+    for node in range(state.n):
+        if node == center or node in neighbors:
+            continue
+        if partner_gain_upper_bound(state, node, center) >= threshold:
+            result.append(node)
+    return result
+
+
+def _center_space_size(degree: int, willing: int, max_add: int | None) -> int:
+    add_cap = willing if max_add is None else min(willing, max_add)
+    subsets = sum(math.comb(willing, size) for size in range(add_cap + 1))
+    return (2**degree) * subsets
+
+
+def find_improving_neighborhood_move(
+    state: GameState,
+    centers: Iterable[int] | None = None,
+    max_evaluations: int = 2_000_000,
+    max_add: int | None = None,
+    max_remove: int | None = None,
+) -> NeighborhoodMove | None:
+    """Exhaustive search for an improving neighborhood move.
+
+    Exact (within ``max_add`` / ``max_remove`` if given); raises
+    :class:`SearchBudgetExceeded` if the pruned space is still larger than
+    ``max_evaluations``.
+    """
+    if centers is None:
+        centers = range(state.n)
+    alpha = state.alpha
+    for center in centers:
+        neighbors = sorted(state.graph.neighbors(center))
+        willing = willing_partners(state, center)
+        degree = len(neighbors)
+        if max_remove is not None:
+            degree = min(degree, max_remove)
+        if _center_space_size(degree, len(willing), max_add) > max_evaluations:
+            raise SearchBudgetExceeded(
+                f"center {center}: deg={len(neighbors)}, "
+                f"willing={len(willing)} exceeds budget {max_evaluations}"
+            )
+        center_dist = state.dist.total(center)
+        # alpha * (|A| - |R|) < dist(center) - (n - 1) is necessary for the
+        # center to strictly benefit (best imaginable distance total is n-1).
+        slack = center_dist - (state.n - 1)
+        remove_cap = len(neighbors) if max_remove is None else max_remove
+        add_cap = len(willing) if max_add is None else min(max_add, len(willing))
+        for removed_size in range(remove_cap + 1):
+            for removed in itertools.combinations(neighbors, removed_size):
+                for added_size in range(add_cap + 1):
+                    if removed_size == 0 and added_size == 0:
+                        continue
+                    if alpha * (added_size - removed_size) >= slack:
+                        break  # larger A only makes it worse
+                    for added in itertools.combinations(willing, added_size):
+                        move = NeighborhoodMove(
+                            center=center, removed=removed, added=added
+                        )
+                        graph_after = move.apply(state.graph)
+                        if all_strictly_improve(
+                            state, graph_after, move.beneficiaries()
+                        ):
+                            return move
+    return None
+
+
+def is_neighborhood_equilibrium(
+    state: GameState,
+    centers: Iterable[int] | None = None,
+    max_evaluations: int = 2_000_000,
+) -> bool:
+    """Exact BNE check (may raise :class:`SearchBudgetExceeded`)."""
+    return (
+        find_improving_neighborhood_move(
+            state, centers=centers, max_evaluations=max_evaluations
+        )
+        is None
+    )
+
+
+def probe_neighborhood_moves(
+    state: GameState,
+    rng: random.Random,
+    samples: int = 1000,
+    max_add: int = 3,
+    max_remove: int = 3,
+    centers: Sequence[int] | None = None,
+) -> NeighborhoodMove | None:
+    """Randomized refuter: samples bounded neighborhood moves.
+
+    A returned move is a *certified* violation; ``None`` proves nothing.
+    Used on instances whose exact search is out of budget.
+    """
+    nodes = list(range(state.n)) if centers is None else list(centers)
+    for _ in range(samples):
+        center = rng.choice(nodes)
+        neighbors = sorted(state.graph.neighbors(center))
+        willing = willing_partners(state, center)
+        if not neighbors and not willing:
+            continue
+        removed_size = rng.randint(0, min(max_remove, len(neighbors)))
+        added_size = rng.randint(0, min(max_add, len(willing)))
+        if removed_size == 0 and added_size == 0:
+            continue
+        removed = tuple(rng.sample(neighbors, removed_size))
+        added = tuple(rng.sample(willing, added_size))
+        move = NeighborhoodMove(center=center, removed=removed, added=added)
+        graph_after = move.apply(state.graph)
+        if all_strictly_improve(state, graph_after, move.beneficiaries()):
+            return move
+    return None

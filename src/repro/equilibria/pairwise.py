@@ -1,0 +1,50 @@
+"""Composite concepts: Pairwise Stability and Bilateral Greedy Equilibrium.
+
+* **PS** = RE ∩ BAE (Jackson–Wolinsky stability, the concept Corbo and
+  Parkes analysed);
+* **BGE** = PS ∩ BSwE (the bilateral version of Lenzner's Greedy
+  Equilibrium).
+
+Both are intersections of exact polynomial checkers, hence exact.
+"""
+
+from __future__ import annotations
+
+from repro.core.moves import Move
+from repro.core.state import GameState
+from repro.equilibria.add import find_improving_bilateral_add
+from repro.equilibria.remove import find_improving_removal
+from repro.equilibria.swap import find_improving_swap
+
+__all__ = [
+    "find_pairwise_violation",
+    "find_greedy_violation",
+    "is_bilateral_greedy_equilibrium",
+    "is_pairwise_stable",
+]
+
+
+def find_pairwise_violation(state: GameState) -> Move | None:
+    """An improving removal or mutual addition, or ``None`` (exact PS)."""
+    removal = find_improving_removal(state)
+    if removal is not None:
+        return removal
+    return find_improving_bilateral_add(state)
+
+
+def is_pairwise_stable(state: GameState) -> bool:
+    """Exact Pairwise Stability check."""
+    return find_pairwise_violation(state) is None
+
+
+def find_greedy_violation(state: GameState) -> Move | None:
+    """An improving removal, addition or swap, or ``None`` (exact BGE)."""
+    pairwise = find_pairwise_violation(state)
+    if pairwise is not None:
+        return pairwise
+    return find_improving_swap(state)
+
+
+def is_bilateral_greedy_equilibrium(state: GameState) -> bool:
+    """Exact BGE check."""
+    return find_greedy_violation(state) is None

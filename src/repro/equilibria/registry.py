@@ -1,0 +1,53 @@
+"""Uniform dispatch from :class:`~repro.core.concepts.Concept` to checkers.
+
+Used by the lattice experiments (Figure 1a), the dynamics move generators and
+the empirical-PoA sweeps, which all quantify over several concepts at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+from repro.equilibria.add import (
+    is_bilateral_add_equilibrium,
+    is_unilateral_add_equilibrium,
+)
+from repro.equilibria.neighborhood import is_neighborhood_equilibrium
+from repro.equilibria.pairwise import (
+    is_bilateral_greedy_equilibrium,
+    is_pairwise_stable,
+)
+from repro.equilibria.remove import is_remove_equilibrium
+from repro.equilibria.strong import is_k_strong_equilibrium, is_strong_equilibrium
+from repro.equilibria.swap import is_bilateral_swap_equilibrium
+
+__all__ = ["check", "checker_for"]
+
+_CHECKERS: dict[Concept, Callable[[GameState], bool]] = {
+    Concept.RE: is_remove_equilibrium,
+    Concept.BAE: is_bilateral_add_equilibrium,
+    Concept.PS: is_pairwise_stable,
+    Concept.BSWE: is_bilateral_swap_equilibrium,
+    Concept.BGE: is_bilateral_greedy_equilibrium,
+    Concept.BNE: is_neighborhood_equilibrium,
+    Concept.BSE: is_strong_equilibrium,
+    Concept.UNILATERAL_AE: is_unilateral_add_equilibrium,
+}
+
+
+def checker_for(concept: Concept) -> Callable[[GameState], bool]:
+    """The ``is_*`` function for a concept (``UNILATERAL_NE`` needs an
+    assignment and is not dispatchable here)."""
+    try:
+        return _CHECKERS[concept]
+    except KeyError:
+        raise ValueError(f"no parameter-free checker for {concept}") from None
+
+
+def check(state: GameState, concept: Concept, k: int | None = None) -> bool:
+    """Check ``state`` against ``concept`` (pass ``k`` for k-BSE)."""
+    if k is not None:
+        return is_k_strong_equilibrium(state, k)
+    return checker_for(concept)(state)

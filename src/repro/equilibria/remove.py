@@ -1,0 +1,52 @@
+"""Remove Equilibrium (RE): no agent gains by dropping one incident edge.
+
+Dropping edge ``uv`` saves ``alpha`` and raises ``u``'s distance cost by
+
+    loss(u, uv) = dist_{G - uv}(u) - dist_G(u),
+
+so ``u`` improves iff ``loss < alpha`` (exact integer vs Fraction).  Bridges
+never qualify: disconnection costs at least ``M > alpha * n^3``.  By
+Proposition A.2 the RE coincides with the Pure Nash Equilibrium of the BNCG,
+so this checker doubles as the bilateral NE test.
+
+Trees are RE for every ``alpha`` (every edge is a bridge); the checker
+shortcuts that case.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.moves import RemoveEdge
+from repro.core.state import GameState
+
+__all__ = ["find_improving_removal", "is_remove_equilibrium", "removal_loss"]
+
+
+def removal_loss(state: GameState, actor: int, other: int) -> int:
+    """Distance-cost increase for ``actor`` when edge ``actor-other`` goes."""
+    after = state.dist.row_after_remove(actor, other)
+    return int((after - state.dist.row(actor)).sum())
+
+
+def find_improving_removal(state: GameState) -> RemoveEdge | None:
+    """First improving single-edge removal, or ``None`` (exact, O(m * m))."""
+    if state.is_tree():
+        return None  # removing any tree edge disconnects: loss >= M > alpha
+    bridges = set()
+    if state.graph.number_of_edges() > 0:
+        for u, v in nx.bridges(state.graph):
+            bridges.add((u, v))
+            bridges.add((v, u))
+    for u, v in state.graph.edges:
+        if (u, v) in bridges:
+            continue
+        for actor, other in ((u, v), (v, u)):
+            if removal_loss(state, actor, other) < state.alpha:
+                return RemoveEdge(actor=actor, other=other)
+    return None
+
+
+def is_remove_equilibrium(state: GameState) -> bool:
+    """Exact RE check (equivalently: bilateral Pure Nash, Prop. A.2)."""
+    return find_improving_removal(state) is None

@@ -1,0 +1,216 @@
+"""Bilateral (k-)Strong Equilibria: stability against coalition moves.
+
+A coalition ``Gamma`` (``|Gamma| <= k``) may delete any set of edges with at
+least one endpoint inside ``Gamma`` and add any set of edges with *both*
+endpoints inside; the move is improving iff **every** member strictly
+benefits.  BSE is the special case ``k = n``.
+
+Member costs after a move use clean post-move strategies: a member saves
+``alpha`` for each incident deleted edge and pays ``alpha`` for each incident
+added edge, i.e. ``cost(u) = alpha * deg'(u) + dist'(u)`` in the mutated
+graph (Section 1.1's strategy/graph bijection).
+
+Exhaustive checking is doubly exponential-ish (coalitions x edge subsets);
+the exact checker enumerates with sound member-benefit pruning and an
+explicit evaluation budget, raising :class:`SearchBudgetExceeded` when the
+instance is out of reach — callers then combine scaled-down exact checks,
+the paper's case analyses, and :func:`probe_coalition_moves`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.core.moves import CoalitionMove, normalize_edge
+from repro.core.state import GameState
+from repro.equilibria.neighborhood import SearchBudgetExceeded
+
+__all__ = [
+    "find_improving_coalition_move",
+    "is_k_strong_equilibrium",
+    "is_strong_equilibrium",
+    "probe_coalition_moves",
+]
+
+
+def _adjacency_sets(graph) -> list[set[int]]:
+    adjacency: list[set[int]] = [set() for _ in range(graph.number_of_nodes())]
+    for u, v in graph.edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    return adjacency
+
+
+def _dist_total(adjacency: list[set[int]], source: int, unreachable: int) -> int:
+    """BFS total distance from ``source`` over a list-of-sets adjacency."""
+    n = len(adjacency)
+    dist = [-1] * n
+    dist[source] = 0
+    queue = deque([source])
+    total = 0
+    seen = 1
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if dist[neighbor] < 0:
+                dist[neighbor] = dist[node] + 1
+                total += dist[neighbor]
+                seen += 1
+                queue.append(neighbor)
+    return total + (n - seen) * unreachable
+
+
+def _member_improves(
+    state: GameState,
+    adjacency: list[set[int]],
+    member: int,
+    base_dist: int,
+) -> bool:
+    new_dist = _dist_total(adjacency, member, state.m_constant)
+    delta_buy = len(adjacency[member]) - state.graph.degree(member)
+    # alpha * delta_buy + (new_dist - base_dist) < 0, exactly
+    return state.alpha * delta_buy < base_dist - new_dist
+
+
+def _coalition_edge_space(
+    state: GameState, coalition: tuple[int, ...]
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    members = set(coalition)
+    removable = sorted(
+        normalize_edge(u, v)
+        for u, v in state.graph.edges
+        if u in members or v in members
+    )
+    addable = sorted(
+        normalize_edge(u, v)
+        for u, v in itertools.combinations(sorted(members), 2)
+        if not state.graph.has_edge(u, v)
+    )
+    return removable, addable
+
+
+def find_improving_coalition_move(
+    state: GameState,
+    max_coalition_size: int,
+    coalitions: Iterable[tuple[int, ...]] | None = None,
+    max_evaluations: int = 5_000_000,
+) -> CoalitionMove | None:
+    """Exhaustive search for an improving coalition move of size at most
+    ``max_coalition_size`` (raises :class:`SearchBudgetExceeded` over budget).
+    """
+    if coalitions is None:
+        nodes = range(state.n)
+        coalitions = itertools.chain.from_iterable(
+            itertools.combinations(nodes, size)
+            for size in range(1, min(max_coalition_size, state.n) + 1)
+        )
+    base_dist = {u: state.dist.total(u) for u in range(state.n)}
+    base_adjacency = _adjacency_sets(state.graph)
+    budget = max_evaluations
+    for coalition in coalitions:
+        removable, addable = _coalition_edge_space(state, coalition)
+        space = 2 ** (len(removable) + len(addable))
+        budget -= space
+        if budget < 0:
+            raise SearchBudgetExceeded(
+                f"coalition {coalition}: 2^{len(removable) + len(addable)} "
+                f"move candidates exceed the evaluation budget"
+            )
+        members = list(coalition)
+        for removed in _powerset(removable):
+            for added in _powerset(addable):
+                if not removed and not added:
+                    continue
+                adjacency = [set(neighbors) for neighbors in base_adjacency]
+                for u, v in removed:
+                    adjacency[u].discard(v)
+                    adjacency[v].discard(u)
+                ok = True
+                for u, v in added:
+                    if v in adjacency[u]:
+                        ok = False  # re-adding a removed edge is a no-op combo
+                        break
+                    adjacency[u].add(v)
+                    adjacency[v].add(u)
+                if not ok:
+                    continue
+                if all(
+                    _member_improves(state, adjacency, member, base_dist[member])
+                    for member in members
+                ):
+                    return CoalitionMove(
+                        coalition=tuple(coalition),
+                        removed_edges=tuple(removed),
+                        added_edges=tuple(added),
+                    )
+    return None
+
+
+def _powerset(items: Sequence) -> Iterable[tuple]:
+    return itertools.chain.from_iterable(
+        itertools.combinations(items, size) for size in range(len(items) + 1)
+    )
+
+
+def is_k_strong_equilibrium(
+    state: GameState,
+    k: int,
+    max_evaluations: int = 5_000_000,
+) -> bool:
+    """Exact k-BSE check (may raise :class:`SearchBudgetExceeded`)."""
+    return (
+        find_improving_coalition_move(state, k, max_evaluations=max_evaluations)
+        is None
+    )
+
+
+def is_strong_equilibrium(
+    state: GameState, max_evaluations: int = 5_000_000
+) -> bool:
+    """Exact BSE (= n-BSE) check (may raise :class:`SearchBudgetExceeded`)."""
+    return is_k_strong_equilibrium(state, state.n, max_evaluations=max_evaluations)
+
+
+def probe_coalition_moves(
+    state: GameState,
+    rng: random.Random,
+    max_coalition_size: int,
+    samples: int = 1000,
+) -> CoalitionMove | None:
+    """Randomized refuter: samples coalitions and random legal moves.
+
+    A returned move is a certified violation; ``None`` proves nothing.
+    """
+    nodes = list(range(state.n))
+    base_dist = {u: state.dist.total(u) for u in nodes}
+    base_adjacency = _adjacency_sets(state.graph)
+    for _ in range(samples):
+        size = rng.randint(1, min(max_coalition_size, state.n))
+        coalition = tuple(sorted(rng.sample(nodes, size)))
+        removable, addable = _coalition_edge_space(state, coalition)
+        removed = tuple(e for e in removable if rng.random() < 0.3)
+        added = tuple(e for e in addable if rng.random() < 0.5)
+        if not removed and not added:
+            continue
+        if set(removed) & set(added):
+            continue
+        adjacency = [set(neighbors) for neighbors in base_adjacency]
+        for u, v in removed:
+            adjacency[u].discard(v)
+            adjacency[v].discard(u)
+        for u, v in added:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        if all(
+            _member_improves(state, adjacency, member, base_dist[member])
+            for member in coalition
+        ):
+            return CoalitionMove(
+                coalition=coalition,
+                removed_edges=removed,
+                added_edges=added,
+            )
+    return None

@@ -1,0 +1,127 @@
+"""Bilateral Swap Equilibrium (BSwE): stability against cooperative swaps.
+
+A swap takes ``uv in E`` and ``uw not in E``: agent ``u`` replaces her edge
+to ``v`` by an edge to ``w``; ``w`` consents and starts paying.  The move is
+improving iff ``u``'s distance cost strictly drops (her buying cost is
+unchanged) and ``w``'s distance gain strictly exceeds ``alpha``.
+
+Two exact strategies:
+
+* **trees** — removing ``uv`` splits the node set; all post-swap distances
+  are closed-form in the original APSP matrix and the split masks, giving an
+  ``O(n^2)`` vectorised evaluation per edge (``O(n^3)`` total, no BFS);
+* **general graphs** — one APSP recomputation of ``G - uv`` per edge, then
+  the one-edge-add identity for every candidate ``w`` (``O(m * n * m)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._alpha import strict_gt_threshold
+from repro.core.moves import Swap
+from repro.core.state import GameState
+from repro.graphs.distances import apsp_matrix
+from repro.graphs.trees import tree_split_masks
+
+__all__ = [
+    "find_improving_swap",
+    "is_bilateral_swap_equilibrium",
+    "swap_gains",
+]
+
+
+def swap_gains(state: GameState, actor: int, old: int, new: int) -> tuple[int, int]:
+    """Exact distance gains ``(gain_actor, gain_new)`` of one specific swap.
+
+    Reference implementation (two BFS runs on the mutated graph); the
+    vectorised searches below must agree with it.
+    """
+    from repro.graphs.distances import single_source_distances
+
+    graph = state.graph.copy()
+    graph.remove_edge(actor, old)
+    graph.add_edge(actor, new)
+    unreachable = state.m_constant
+    actor_after = int(single_source_distances(graph, actor, unreachable).sum())
+    new_after = int(single_source_distances(graph, new, unreachable).sum())
+    return (
+        state.dist.total(actor) - actor_after,
+        state.dist.total(new) - new_after,
+    )
+
+
+def _find_swap_tree(state: GameState) -> Swap | None:
+    dist = state.dist_matrix
+    totals = dist.sum(axis=1)
+    w_threshold = strict_gt_threshold(state.alpha)
+    n = state.n
+    for a, b in state.graph.edges:
+        mask_a, mask_b = tree_split_masks(state.graph, a, b, n)
+        # column sums of the APSP matrix restricted to each side, per node
+        sums_b = dist @ mask_b.astype(np.int64)
+        sums_a = totals - sums_b
+        size_a = int(mask_a.sum())
+        size_b = n - size_a
+        for actor, old, far_mask, far_sums, far_size, near_sums, near_size in (
+            (a, b, mask_b, sums_b, size_b, sums_a, size_a),
+            (b, a, mask_a, sums_a, size_a, sums_b, size_b),
+        ):
+            # actor keeps its side, reattaches to w on the far side:
+            #   gain_actor(w) = sum_{x far} d(actor,x) - (|far| + sum_{x far} d(w,x))
+            #   gain_w(w)     = sum_{x near} d(w,x) - (|near| + sum_{x near} d(actor,x))
+            gain_actor = int(far_sums[actor]) - far_size - far_sums
+            gain_w = near_sums - near_size - int(near_sums[actor])
+            viable = (gain_actor >= 1) & (gain_w >= w_threshold) & far_mask
+            viable[old] = False
+            candidates = np.flatnonzero(viable)
+            if candidates.size:
+                return Swap(actor=actor, old=old, new=int(candidates[0]))
+    return None
+
+
+def _find_swap_general(state: GameState) -> Swap | None:
+    dist = state.dist_matrix
+    totals = dist.sum(axis=1)
+    w_threshold = strict_gt_threshold(state.alpha)
+    n = state.n
+    graph = state.graph
+    adjacency = np.zeros((n, n), dtype=bool)
+    for u, v in graph.edges:
+        adjacency[u, v] = True
+        adjacency[v, u] = True
+    for a, b in list(graph.edges):
+        graph.remove_edge(a, b)
+        removed = apsp_matrix(graph, state.m_constant)
+        graph.add_edge(a, b)
+        for actor, old in ((a, b), (b, a)):
+            # actor's new distances with partner w:  min(rm[actor], 1 + rm[w])
+            actor_rows = np.minimum(removed[actor][None, :], 1 + removed)
+            actor_new_totals = actor_rows.sum(axis=1)
+            gain_actor = int(totals[actor]) - actor_new_totals
+            # partner w's new distances:             min(rm[w], 1 + rm[actor])
+            partner_rows = np.minimum(removed, (1 + removed[actor])[None, :])
+            partner_new_totals = partner_rows.sum(axis=1)
+            gain_w = totals - partner_new_totals
+            viable = (gain_actor >= 1) & (gain_w >= w_threshold)
+            viable[actor] = False
+            viable[old] = False
+            viable &= ~adjacency[actor]
+            candidates = np.flatnonzero(viable)
+            if candidates.size:
+                return Swap(actor=actor, old=old, new=int(candidates[0]))
+    return None
+
+
+def find_improving_swap(state: GameState) -> Swap | None:
+    """First mutually improving swap, or ``None`` (exact)."""
+    if state.n < 3 or state.graph.number_of_edges() == 0:
+        return None
+    if state.is_tree():
+        return _find_swap_tree(state)
+    return _find_swap_general(state)
+
+
+def is_bilateral_swap_equilibrium(state: GameState) -> bool:
+    """Exact BSwE check."""
+    return find_improving_swap(state) is None

@@ -1,0 +1,37 @@
+"""Graph substrate: distances, tree structure, and graph generation."""
+
+from repro.graphs.distances import (
+    DistanceMatrix,
+    added_edge_dist_gain,
+    apsp_matrix,
+    component_labels,
+    dist_vector_after_add,
+    is_connected,
+    removed_edge_dist_vector,
+    total_distances,
+)
+from repro.graphs.trees import RootedTree, one_medians, tree_split_masks
+from repro.graphs.generation import (
+    all_connected_graphs,
+    all_trees,
+    random_connected_gnp,
+    random_tree,
+)
+
+__all__ = [
+    "DistanceMatrix",
+    "RootedTree",
+    "added_edge_dist_gain",
+    "all_connected_graphs",
+    "all_trees",
+    "apsp_matrix",
+    "component_labels",
+    "dist_vector_after_add",
+    "is_connected",
+    "one_medians",
+    "random_connected_gnp",
+    "random_tree",
+    "removed_edge_dist_vector",
+    "total_distances",
+    "tree_split_masks",
+]

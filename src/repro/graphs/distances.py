@@ -1,0 +1,215 @@
+"""All-pairs shortest paths and incremental one-edge distance updates.
+
+Graphs are ``networkx.Graph`` objects whose nodes are ``0 .. n-1``.  Distances
+live in dense ``numpy`` ``int64`` matrices; pairs in different components hold
+the game's big constant ``M`` (see :mod:`repro._alpha`), never ``inf``, so all
+arithmetic stays integral and exact.
+
+The two identities that make polynomial equilibrium checks fast:
+
+* adding edge ``uv``:  ``d'(u, x) = min(d(u, x), 1 + d(v, x))`` — a shortest
+  path uses a fresh edge at most once, and from ``u`` it must start with it;
+* removing edge ``uv``: no such shortcut in general graphs, so we re-run a
+  single BFS from the interesting endpoint (still ``O(m)``); on trees the
+  split into two components gives exact answers without any search
+  (see :mod:`repro.graphs.trees`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import (
+    breadth_first_order,
+    connected_components,
+    shortest_path,
+)
+
+__all__ = [
+    "DistanceMatrix",
+    "adjacency_csr",
+    "apsp_matrix",
+    "added_edge_dist_gain",
+    "component_labels",
+    "dist_vector_after_add",
+    "is_connected",
+    "removed_edge_dist_vector",
+    "single_source_distances",
+    "total_distances",
+]
+
+
+def _require_canonical(graph: nx.Graph) -> int:
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise ValueError("graphs must have at least one node")
+    if set(graph.nodes) != set(range(n)):
+        raise ValueError("graph nodes must be 0..n-1; use canonical_labels()")
+    return n
+
+
+def canonical_labels(graph: nx.Graph) -> nx.Graph:
+    """Relabel an arbitrary graph to integer nodes ``0..n-1`` (sorted order).
+
+    Node sorting falls back to string order for mixed-type labels so the
+    mapping is deterministic.
+    """
+    try:
+        ordered = sorted(graph.nodes)
+    except TypeError:
+        ordered = sorted(graph.nodes, key=str)
+    mapping = {node: index for index, node in enumerate(ordered)}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def adjacency_csr(graph: nx.Graph) -> csr_matrix:
+    """Symmetric 0/1 adjacency in CSR form for scipy's C-level BFS."""
+    n = _require_canonical(graph)
+    m = graph.number_of_edges()
+    rows = np.empty(2 * m, dtype=np.int64)
+    cols = np.empty(2 * m, dtype=np.int64)
+    for index, (u, v) in enumerate(graph.edges):
+        rows[2 * index] = u
+        cols[2 * index] = v
+        rows[2 * index + 1] = v
+        cols[2 * index + 1] = u
+    data = np.ones(2 * m, dtype=np.int8)
+    return csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def apsp_matrix(graph: nx.Graph, unreachable: int) -> np.ndarray:
+    """Dense all-pairs shortest path matrix with ``unreachable`` for no path.
+
+    Runs one BFS per node in C via scipy; ``O(n * m)`` total.
+    """
+    n = _require_canonical(graph)
+    if graph.number_of_edges() == 0:
+        dist = np.full((n, n), unreachable, dtype=np.int64)
+        np.fill_diagonal(dist, 0)
+        return dist
+    raw = shortest_path(adjacency_csr(graph), method="D", unweighted=True)
+    dist = np.where(np.isinf(raw), float(unreachable), raw)
+    return dist.astype(np.int64)
+
+
+def single_source_distances(
+    graph: nx.Graph, source: int, unreachable: int
+) -> np.ndarray:
+    """BFS distances from ``source`` as an int64 vector."""
+    n = _require_canonical(graph)
+    dist = np.full(n, unreachable, dtype=np.int64)
+    dist[source] = 0
+    if graph.degree(source) == 0:
+        return dist
+    adjacency = adjacency_csr(graph)
+    order, predecessors = breadth_first_order(
+        adjacency, source, directed=False, return_predecessors=True
+    )
+    for node in order:
+        if node == source:
+            continue
+        dist[node] = dist[predecessors[node]] + 1
+    return dist
+
+
+def is_connected(graph: nx.Graph) -> bool:
+    """Connectivity via one BFS (works on canonical graphs of any size)."""
+    return nx.is_connected(graph)
+
+
+def component_labels(graph: nx.Graph) -> np.ndarray:
+    """Connected component index per node."""
+    _require_canonical(graph)
+    if graph.number_of_edges() == 0:
+        return np.arange(graph.number_of_nodes(), dtype=np.int64)
+    _, labels = connected_components(adjacency_csr(graph), directed=False)
+    return labels.astype(np.int64)
+
+
+def total_distances(dist: np.ndarray) -> np.ndarray:
+    """Per-node total distance cost ``dist(u) = sum_v d(u, v)``.
+
+    Safe in int64: ``GameState`` guarantees ``n * M`` fits (see
+    :func:`repro._alpha.big_m` and :func:`repro._alpha.fits_int64`).
+    """
+    return dist.sum(axis=1)
+
+
+def dist_vector_after_add(dist: np.ndarray, u: int, v: int) -> np.ndarray:
+    """Distances from ``u`` after adding edge ``uv``: ``min(d_u, 1 + d_v)``."""
+    return np.minimum(dist[u], 1 + dist[v])
+
+
+def added_edge_dist_gain(dist: np.ndarray, u: int, v: int) -> int:
+    """Strict decrease of ``dist(u)`` caused by adding edge ``uv``.
+
+    Always non-negative.  The symmetric gain for ``v`` is obtained by
+    swapping the arguments.
+    """
+    improvement = dist[u] - (1 + dist[v])
+    return int(improvement[improvement > 0].sum())
+
+
+def removed_edge_dist_vector(
+    graph: nx.Graph, u: int, v: int, unreachable: int
+) -> np.ndarray:
+    """Distances from ``u`` after removing edge ``uv`` (one fresh BFS).
+
+    The graph is restored before returning.
+    """
+    if not graph.has_edge(u, v):
+        raise ValueError(f"edge {u}-{v} not in graph")
+    graph.remove_edge(u, v)
+    try:
+        return single_source_distances(graph, u, unreachable)
+    finally:
+        graph.add_edge(u, v)
+
+
+class DistanceMatrix:
+    """Cached APSP for one graph snapshot, with incremental query helpers.
+
+    This is the workhorse behind all polynomial equilibrium checkers.  The
+    matrix is computed once; one-edge *additions* are answered from the
+    matrix alone, one-edge *removals* trigger a single BFS.
+    """
+
+    def __init__(self, graph: nx.Graph, unreachable: int):
+        self.n = _require_canonical(graph)
+        self.unreachable = int(unreachable)
+        self._graph = graph
+        self.matrix = apsp_matrix(graph, self.unreachable)
+
+    def dist(self, u: int, v: int) -> int:
+        return int(self.matrix[u, v])
+
+    def row(self, u: int) -> np.ndarray:
+        return self.matrix[u]
+
+    def total(self, u: int) -> int:
+        return int(self.matrix[u].sum())
+
+    def totals(self) -> np.ndarray:
+        return total_distances(self.matrix)
+
+    def eccentricity(self, u: int) -> int:
+        return int(self.matrix[u].max())
+
+    def diameter(self) -> int:
+        return int(self.matrix.max())
+
+    def add_gain(self, u: int, v: int) -> int:
+        """Distance-cost gain for ``u`` when edge ``uv`` is added."""
+        return added_edge_dist_gain(self.matrix, u, v)
+
+    def row_after_add(self, u: int, v: int) -> np.ndarray:
+        return dist_vector_after_add(self.matrix, u, v)
+
+    def row_after_remove(self, u: int, v: int) -> np.ndarray:
+        return removed_edge_dist_vector(self._graph, u, v, self.unreachable)
+
+    def remove_loss(self, u: int, v: int) -> int:
+        """Distance-cost increase for ``u`` when edge ``uv`` is removed."""
+        after = self.row_after_remove(u, v)
+        return int((after - self.matrix[u]).sum())

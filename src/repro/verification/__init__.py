@@ -1,0 +1,53 @@
+"""Numeric verification of the paper's lemmas and propositions on instances."""
+
+from repro.verification.lemmas import (
+    LemmaCheck,
+    check_lemma_2_4_window,
+    check_lemma_3_3,
+    check_lemma_3_4,
+    check_lemma_3_5,
+    check_lemma_3_11_condition,
+    check_lemma_3_14,
+    check_lemma_3_18,
+    check_lemma_D1,
+    check_lemma_D8,
+    check_lemma_D9,
+    check_lemma_D10,
+    check_theorem_3_6,
+    check_theorem_3_13,
+    check_theorem_3_15,
+    cycle_bse_window,
+)
+from repro.verification.propositions import (
+    check_proposition_3_7,
+    check_proposition_3_8,
+    check_proposition_3_16,
+    lemma_3_14_coalition_move,
+    minimum_max_cost_profile,
+)
+from repro.verification.report import run_all_checks
+
+__all__ = [
+    "LemmaCheck",
+    "check_lemma_2_4_window",
+    "check_lemma_3_3",
+    "check_lemma_3_4",
+    "check_lemma_3_5",
+    "check_lemma_3_11_condition",
+    "check_lemma_3_14",
+    "check_lemma_3_18",
+    "check_lemma_D1",
+    "check_lemma_D8",
+    "check_lemma_D9",
+    "check_lemma_D10",
+    "check_proposition_3_7",
+    "check_proposition_3_8",
+    "check_proposition_3_16",
+    "check_theorem_3_6",
+    "check_theorem_3_13",
+    "check_theorem_3_15",
+    "cycle_bse_window",
+    "lemma_3_14_coalition_move",
+    "minimum_max_cost_profile",
+    "run_all_checks",
+]

@@ -1,0 +1,180 @@
+"""Executable checks of the paper's propositions on concrete instances."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence
+
+import networkx as nx
+
+from repro._alpha import AlphaLike, as_alpha
+from repro.constructions.basic import almost_complete_dary_tree, clique, star
+from repro.constructions.stretched import stretched_binary_tree
+from repro.core.costs import all_strictly_improve, max_agent_cost
+from repro.core.moves import CoalitionMove
+from repro.core.state import GameState
+from repro.equilibria.pairwise import is_bilateral_greedy_equilibrium
+from repro.equilibria.strong import is_k_strong_equilibrium, is_strong_equilibrium
+from repro.graphs.generation import all_trees
+from repro.graphs.trees import RootedTree
+from repro.verification.lemmas import LemmaCheck
+
+__all__ = [
+    "check_proposition_3_7",
+    "check_proposition_3_8",
+    "check_proposition_3_16",
+    "lemma_3_14_coalition_move",
+    "minimum_max_cost_profile",
+]
+
+
+def check_proposition_3_7(
+    n: int, alphas: Sequence[AlphaLike]
+) -> LemmaCheck:
+    """On trees, BGE and 2-BSE coincide — verified by enumerating every
+    non-isomorphic tree on ``n`` nodes against both exact checkers."""
+    mismatches = []
+    trees = 0
+    for tree in all_trees(n):
+        trees += 1
+        for alpha in alphas:
+            state = GameState(tree, alpha)
+            greedy = is_bilateral_greedy_equilibrium(state)
+            two_strong = is_k_strong_equilibrium(state, 2)
+            if greedy != two_strong:
+                mismatches.append((sorted(tree.edges), as_alpha(alpha)))
+    return LemmaCheck(
+        name="Proposition 3.7",
+        holds=not mismatches,
+        details=f"{trees} trees x {len(alphas)} alphas, "
+        f"{len(mismatches)} mismatches",
+        data={"mismatches": mismatches},
+    )
+
+
+def check_proposition_3_8(d: int, k: int) -> LemmaCheck:
+    """Stretched binary trees are in BGE for ``alpha >= 7 k n`` — verified
+    with the exact polynomial checkers at ``alpha = 7 k n`` exactly."""
+    tree = stretched_binary_tree(d, k)
+    alpha = 7 * k * tree.n
+    state = GameState(tree.graph, alpha)
+    stable = is_bilateral_greedy_equilibrium(state)
+    return LemmaCheck(
+        name="Proposition 3.8",
+        holds=stable,
+        details=f"d={d}, k={k}, n={tree.n}, alpha={alpha}: BGE={stable}",
+    )
+
+
+def check_proposition_3_16(n: int) -> LemmaCheck:
+    """BSE structure at the alpha boundaries (exact BSE checks, small n):
+
+    * ``alpha < 1``: the clique is in BSE, the star is not;
+    * ``alpha = 1``: diameter <= 2 is exactly the BSE frontier for the
+      families checked (cycle C_n vs path P_n);
+    * ``alpha > 1``: the star is in BSE, and so is a path of four nodes at
+      ``alpha = 100``.
+    """
+    half = Fraction(1, 2)
+    checks = {
+        "clique @ 1/2": is_strong_equilibrium(GameState(clique(n), half)),
+        "star not @ 1/2": not is_strong_equilibrium(GameState(star(n), half)),
+        "star @ 2": is_strong_equilibrium(GameState(star(n), 2)),
+        "C5 @ 1 (diam 2)": is_strong_equilibrium(
+            GameState(nx.cycle_graph(5), 1)
+        ),
+        "P4 @ 100": is_strong_equilibrium(GameState(nx.path_graph(4), 100)),
+        "P4 not @ 1 (diam 3)": not is_strong_equilibrium(
+            GameState(nx.path_graph(4), 1)
+        ),
+    }
+    return LemmaCheck(
+        name="Proposition 3.16",
+        holds=all(checks.values()),
+        details=", ".join(f"{k}: {v}" for k, v in checks.items()),
+        data=checks,
+    )
+
+
+def lemma_3_14_coalition_move(state: GameState) -> CoalitionMove | None:
+    """Construct Lemma 3.14's size-3 coalition move on a tree that has two
+    deep sibling subtrees, and return it if it certifies instability.
+
+    The proof shows the move ``{x, z, z'}: add xz and zz', drop xy`` (or its
+    mirror) is improving whenever some node has two children whose subtrees
+    are deeper than ``2 ceil(4 alpha/n) + 2``; both orientations are tried.
+    """
+    if not state.is_tree():
+        raise ValueError("Lemma 3.14 is about trees")
+    tree = RootedTree(state.graph)
+    offset = math.ceil(4 * state.alpha / state.n)
+    needed = 2 * offset + 2
+    for u in state.graph:
+        deep = [
+            c for c in tree.children(u) if tree.subtree_depth(c) >= needed
+        ]
+        if len(deep) < 2:
+            continue
+        for c, c_prime in ((deep[0], deep[1]), (deep[1], deep[0])):
+            path = _descend(tree, c, needed)
+            path_prime = _descend(tree, c_prime, needed)
+            # path[j] sits at layer l(u) + j; the proof places
+            # x at l(u) + ceil(4a/n) + 2, its child y below it, and
+            # z, z' at l(u) + 2 ceil(4a/n) + 3 (depth `needed` below c, c')
+            x = path[offset + 2]
+            y = path[offset + 3]
+            z = path[needed + 1]
+            z_prime = path_prime[needed + 1]
+            move = CoalitionMove(
+                coalition=(x, z, z_prime),
+                removed_edges=((min(x, y), max(x, y)),),
+                added_edges=tuple(
+                    sorted(
+                        (
+                            (min(x, z), max(x, z)),
+                            (min(z, z_prime), max(z, z_prime)),
+                        )
+                    )
+                ),
+            )
+            graph_after = move.apply(state.graph)
+            if all_strictly_improve(state, graph_after, move.beneficiaries()):
+                return move
+    return None
+
+
+def _descend(tree: RootedTree, top: int, steps: int) -> list[int]:
+    """The path ``[parent(top), top, ...]`` following the deepest child for
+    ``steps`` further levels: ``path[j]`` sits ``j`` layers below
+    ``parent(top)``."""
+    path = [tree.parent(top), top]
+    current = top
+    for _ in range(steps):
+        children = tree.children(current)
+        if not children:
+            break
+        current = max(children, key=tree.subtree_depth)
+        path.append(current)
+    return path
+
+
+def minimum_max_cost_profile(
+    n: int, d_values: Sequence[int] | None = None
+) -> Fraction:
+    """Proposition 3.22's quantity at ``alpha = n``: the smallest
+    ``max_u cost(u) / (alpha + n - 1)`` over the d-ary tree family (the
+    best known flat-cost family).  Grows without bound as ``n`` grows."""
+    if d_values is None:
+        d_values = [2, 3, 4, 8, 16, 32]
+    best: Fraction | None = None
+    for d in d_values:
+        if d >= n:
+            continue
+        state = GameState(almost_complete_dary_tree(n, d), n)
+        value = max_agent_cost(state) / (as_alpha(n) + n - 1)
+        if best is None or value < best:
+            best = value
+    if best is None:
+        raise ValueError("no valid d for this n")
+    return best

@@ -1,0 +1,83 @@
+"""One-shot verification report: run every lemma/proposition check.
+
+Used by ``examples/worst_case_gallery.py`` and handy for a quick health
+check of the whole reproduction::
+
+    python -m repro.verification.report
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.tables import render_table
+from repro.constructions.stretched import (
+    bge_lower_bound_star,
+    stretched_binary_tree,
+    stretched_tree_star,
+)
+from repro.core.state import GameState
+from repro.verification.lemmas import (
+    LemmaCheck,
+    check_lemma_2_4_window,
+    check_lemma_3_3,
+    check_lemma_3_4,
+    check_lemma_3_5,
+    check_lemma_3_11_condition,
+    check_lemma_3_18,
+    check_lemma_D1,
+    check_lemma_D8,
+    check_lemma_D9,
+    check_lemma_D10,
+    check_theorem_3_6,
+)
+from repro.verification.propositions import (
+    check_proposition_3_7,
+    check_proposition_3_8,
+    check_proposition_3_16,
+)
+
+__all__ = ["run_all_checks"]
+
+
+def run_all_checks() -> list[LemmaCheck]:
+    """All instance-level lemma checks on representative constructions."""
+    checks: list[LemmaCheck] = []
+
+    # A BGE (hence BSwE) stretched tree star: Theorem 3.10's parameters.
+    alpha = 600
+    star = bge_lower_bound_star(alpha, eta=max(600, alpha))
+    state = GameState(star.graph, alpha)
+    checks.append(check_lemma_3_3(state))
+    checks.append(check_lemma_3_4(state))
+    checks.append(check_lemma_3_5(state))
+    checks.append(check_theorem_3_6(state))
+    checks.append(check_lemma_D9(star))
+    checks.append(check_lemma_D10(star, alpha))
+
+    tree = stretched_binary_tree(d=4, k=3)
+    checks.append(check_lemma_D1(tree))
+    checks.append(check_lemma_D8(k=3, t=200))
+
+    bne_star = stretched_tree_star(k=1, t=20, eta=500)
+    checks.append(check_lemma_3_11_condition(bne_star, alpha=4500))
+
+    checks.append(check_lemma_3_18(n=500, alpha=700, d=3))
+    checks.append(check_lemma_2_4_window(n=6, alpha=5))
+    checks.append(check_proposition_3_7(n=6, alphas=[1, 2, Fraction(7, 2)]))
+    checks.append(check_proposition_3_8(d=2, k=2))
+    checks.append(check_proposition_3_16(n=5))
+    return checks
+
+
+def main() -> None:
+    checks = run_all_checks()
+    rows = [[c.name, c.holds, c.details] for c in checks]
+    print(render_table(["check", "holds", "details"], rows,
+                       title="Verification report"))
+    failed = [c for c in checks if not c.holds]
+    print(f"\n{len(checks) - len(failed)}/{len(checks)} checks hold")
+
+
+if __name__ == "__main__":
+    main()

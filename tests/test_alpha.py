@@ -1,0 +1,107 @@
+"""Tests for exact edge-price arithmetic (repro._alpha)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._alpha import (
+    as_alpha,
+    big_m,
+    fits_int64,
+    strict_gt_threshold,
+    strict_lt_threshold,
+)
+
+
+class TestAsAlpha:
+    def test_int(self):
+        assert as_alpha(4) == Fraction(4)
+
+    def test_fraction_passthrough(self):
+        value = Fraction(7, 3)
+        assert as_alpha(value) is value
+
+    def test_string_decimal(self):
+        assert as_alpha("104.5") == Fraction(209, 2)
+
+    def test_string_ratio(self):
+        assert as_alpha("1/2") == Fraction(1, 2)
+
+    def test_dyadic_float_is_exact(self):
+        assert as_alpha(4.5) == Fraction(9, 2)
+        assert as_alpha(0.5) == Fraction(1, 2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_alpha(True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_alpha(float("nan"))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_alpha(object())
+
+
+class TestStrictThresholds:
+    def test_integer_alpha(self):
+        assert strict_gt_threshold(Fraction(4)) == 5
+        assert strict_lt_threshold(Fraction(4)) == 3
+
+    def test_half_integer_alpha(self):
+        assert strict_gt_threshold(Fraction(9, 2)) == 5
+        assert strict_lt_threshold(Fraction(9, 2)) == 4
+
+    @given(
+        numerator=st.integers(min_value=1, max_value=10_000),
+        denominator=st.integers(min_value=1, max_value=100),
+        gain=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_gt_threshold_matches_exact_comparison(
+        self, numerator, denominator, gain
+    ):
+        alpha = Fraction(numerator, denominator)
+        assert (gain > alpha) == (gain >= strict_gt_threshold(alpha))
+
+    @given(
+        numerator=st.integers(min_value=1, max_value=10_000),
+        denominator=st.integers(min_value=1, max_value=100),
+        gain=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_lt_threshold_matches_exact_comparison(
+        self, numerator, denominator, gain
+    ):
+        alpha = Fraction(numerator, denominator)
+        assert (gain < alpha) == (gain <= strict_lt_threshold(alpha))
+
+
+class TestBigM:
+    def test_exceeds_any_real_saving(self):
+        assert big_m(10, Fraction(3)) > 3 * 10 + 10**2
+
+    def test_at_least_n(self):
+        assert big_m(50, Fraction(1, 100)) >= 50
+
+    def test_integer(self):
+        assert isinstance(big_m(7, Fraction(9, 2)), int)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            big_m(0, Fraction(1))
+
+    def test_reachability_dominates(self):
+        """Losing one reachable agent must outweigh any buy/dist savings."""
+        n, alpha = 20, Fraction(7, 2)
+        m = big_m(n, alpha)
+        max_savings = alpha * n + n * n
+        assert m > max_savings
+
+
+class TestFitsInt64:
+    def test_small_fits(self):
+        assert fits_int64(10**12)
+
+    def test_huge_does_not(self):
+        assert not fits_int64(2**63)

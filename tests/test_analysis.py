@@ -1,0 +1,181 @@
+"""Tests for the analysis harness: PoA sweeps, bounds, fitting, tables."""
+
+import math
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.analysis.bounds import (
+    bge_tree_lower_bound,
+    bne_small_alpha_bound,
+    bse_any_alpha_bound,
+    bse_high_alpha_bound,
+    bse_low_alpha_bound,
+    bswe_tree_upper_bound,
+    dary_tree_cost_bound,
+    proposition_3_1_bound,
+    ps_tree_shape,
+    re_corollary_3_2_bound,
+    three_bse_tree_bound,
+)
+from repro.analysis.fitting import (
+    fit_log_slope,
+    fit_power_law,
+    relative_spread,
+)
+from repro.analysis.poa import (
+    bse_upper_bound_via_dary_tree,
+    empirical_poa,
+    empirical_tree_poa,
+    re_upper_bound_via_prop_3_1,
+    worst_equilibria,
+)
+from repro.analysis.tables import format_value, render_table
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+
+
+class TestBounds:
+    def test_ps_shape_crossover_at_n(self):
+        """sqrt(alpha) branch below alpha = n, n/sqrt(alpha) above."""
+        n = 100
+        assert ps_tree_shape(n, 25) == 5
+        assert ps_tree_shape(n, 400) == 100 / 20
+
+    def test_bswe_upper_bound_values(self):
+        assert bswe_tree_upper_bound(1) == 2
+        assert bswe_tree_upper_bound(4) == 6
+
+    def test_bge_lower_bound_grows(self):
+        assert bge_tree_lower_bound(2**40) > bge_tree_lower_bound(2**20)
+
+    def test_constants(self):
+        assert bne_small_alpha_bound() == 4
+        assert three_bse_tree_bound() == 25
+        assert bse_high_alpha_bound() == 5
+
+    def test_bse_low_alpha(self):
+        assert bse_low_alpha_bound(0.5) == 7
+        with pytest.raises(ValueError):
+            bse_low_alpha_bound(0)
+
+    def test_bse_any_alpha_is_sublogarithmic(self):
+        """o(log n): the ratio to log2 n shrinks as n explodes."""
+        small = bse_any_alpha_bound(2**16) / 16
+        large = bse_any_alpha_bound(2**64) / 64
+        assert large < small
+
+    def test_corollary_3_2(self):
+        assert re_corollary_3_2_bound(10, 50) == 1 + Fraction(100, 50)
+
+    def test_proposition_3_1(self):
+        assert proposition_3_1_bound(10, 1, 9) == Fraction(10, 10)
+
+    def test_dary_cost_bound_monotone_in_alpha(self):
+        assert dary_tree_cost_bound(100, 50, 3) < dary_tree_cost_bound(
+            100, 500, 3
+        )
+
+
+class TestEmpiricalPoA:
+    def test_tree_poa_at_least_one(self):
+        result = empirical_tree_poa(7, 3, Concept.PS)
+        assert result.poa is not None and result.poa >= 1
+        assert result.equilibria >= 1  # the star at least
+        assert result.candidates == 11  # trees on 7 nodes
+
+    def test_witness_is_an_equilibrium_with_that_rho(self):
+        result = empirical_tree_poa(7, 5, Concept.PS)
+        state = GameState(result.witness, result.alpha)
+        assert state.rho() == result.poa
+
+    def test_ordering_of_concepts(self):
+        """More cooperation can only (weakly) shrink the worst case."""
+        n, alpha = 8, 6
+        ps = empirical_tree_poa(n, alpha, Concept.PS)
+        bge = empirical_tree_poa(n, alpha, Concept.BGE)
+        assert bge.poa <= ps.poa
+
+    def test_graph_poa_includes_non_trees(self):
+        result = empirical_poa(5, 3, Concept.PS)
+        assert result.candidates == 21  # connected graphs on 5 nodes
+
+    def test_no_equilibria_gives_none(self):
+        """1-node family edge case is excluded; use absurd concept/k combo."""
+        result = empirical_tree_poa(4, Fraction(1, 2), Concept.PS)
+        # at alpha < 1 star is not PS; paths neither -> may be none or some
+        if result.poa is None:
+            assert result.witness is None
+
+    def test_worst_equilibria_sorted(self):
+        ranked = worst_equilibria(8, 6, Concept.PS, top=3)
+        assert len(ranked) >= 1
+        ratios = [rho for rho, _ in ranked]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_k_bse_scan(self):
+        result = empirical_tree_poa(6, 4, Concept.BGE, k=3)
+        assert result.k == 3
+        if result.poa is not None:
+            assert result.poa >= 1
+
+
+class TestCertifiedBseBounds:
+    def test_lemma_317_bound_confirmed_on_small_graphs(self):
+        """The certified d-ary bound really does dominate every exact BSE
+        rho on 5 nodes."""
+        n, alpha = 5, 2
+        bound = min(
+            bse_upper_bound_via_dary_tree(n, alpha, d) for d in (2, 3, 4)
+        )
+        scan = empirical_poa(n, alpha, Concept.BSE)
+        assert scan.poa is not None
+        assert scan.poa <= bound
+
+    def test_prop_3_1_bound_dominates_rho(self):
+        state = GameState(nx.path_graph(7), 3)
+        assert state.rho() <= re_upper_bound_via_prop_3_1(state)
+
+
+class TestFitting:
+    def test_log_slope_recovers_synthetic(self):
+        alphas = [2**i for i in range(3, 12)]
+        rhos = [0.5 * math.log2(a) + 1.25 for a in alphas]
+        fit = fit_log_slope(alphas, rhos)
+        assert abs(fit.slope - 0.5) < 1e-9
+        assert fit.r_squared > 0.999
+
+    def test_power_law_recovers_sqrt(self):
+        alphas = [4**i for i in range(2, 8)]
+        rhos = [3 * math.sqrt(a) for a in alphas]
+        fit = fit_power_law(alphas, rhos)
+        assert abs(fit.slope - 0.5) < 1e-9
+
+    def test_relative_spread(self):
+        assert relative_spread([2.0, 2.0, 2.0]) == 0
+        assert relative_spread([2.0, 3.0]) == 0.5
+        with pytest.raises(ValueError):
+            relative_spread([0.0, 1.0])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_log_slope([2], [1.0])
+
+
+class TestTables:
+    def test_format_fraction(self):
+        assert format_value(Fraction(3, 1)) == "3"
+        assert format_value(Fraction(7, 2)) == "3.5"
+
+    def test_format_bool(self):
+        assert format_value(True) == "yes"
+
+    def test_render_alignment(self):
+        table = render_table(
+            ["concept", "PoA"], [["PS", 3.5], ["BGE", 2.0]], title="Table 1"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Table 1"
+        assert "concept" in lines[1]
+        assert len(lines) == 5

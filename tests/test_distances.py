@@ -1,0 +1,199 @@
+"""Tests for the distance engine (repro.graphs.distances)."""
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.distances import (
+    DistanceMatrix,
+    added_edge_dist_gain,
+    apsp_matrix,
+    canonical_labels,
+    component_labels,
+    dist_vector_after_add,
+    removed_edge_dist_vector,
+    single_source_distances,
+)
+from repro.graphs.generation import random_connected_gnp
+
+UNREACHABLE = 10**6
+
+
+def nx_apsp(graph: nx.Graph) -> np.ndarray:
+    n = graph.number_of_nodes()
+    dist = np.full((n, n), UNREACHABLE, dtype=np.int64)
+    for source, lengths in nx.all_pairs_shortest_path_length(graph):
+        for target, value in lengths.items():
+            dist[source, target] = value
+    return dist
+
+
+@st.composite
+def connected_graphs(draw, max_n=12):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.floats(min_value=0.0, max_value=0.5))
+    return random_connected_gnp(n, p, random.Random(seed))
+
+
+class TestApspMatrix:
+    def test_path(self):
+        dist = apsp_matrix(nx.path_graph(4), UNREACHABLE)
+        assert dist[0, 3] == 3
+        assert dist[1, 2] == 1
+        assert (np.diag(dist) == 0).all()
+
+    def test_disconnected_pairs_get_unreachable(self):
+        graph = nx.empty_graph(3)
+        graph.add_edge(0, 1)
+        dist = apsp_matrix(graph, UNREACHABLE)
+        assert dist[0, 2] == UNREACHABLE
+        assert dist[2, 1] == UNREACHABLE
+        assert dist[0, 1] == 1
+
+    def test_edgeless(self):
+        dist = apsp_matrix(nx.empty_graph(3), UNREACHABLE)
+        assert (np.diag(dist) == 0).all()
+        assert dist[0, 1] == UNREACHABLE
+
+    def test_rejects_noncanonical_nodes(self):
+        graph = nx.Graph([("a", "b")])
+        with pytest.raises(ValueError):
+            apsp_matrix(graph, UNREACHABLE)
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, graph):
+        ours = apsp_matrix(graph, UNREACHABLE)
+        assert (ours == nx_apsp(graph)).all()
+
+    @given(connected_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry_and_triangle_inequality(self, graph):
+        dist = apsp_matrix(graph, UNREACHABLE)
+        assert (dist == dist.T).all()
+        n = graph.number_of_nodes()
+        for k in range(n):
+            via_k = dist[:, k][:, None] + dist[k][None, :]
+            assert (dist <= via_k).all()
+
+
+class TestSingleSource:
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_apsp_row(self, graph):
+        dist = apsp_matrix(graph, UNREACHABLE)
+        for source in range(graph.number_of_nodes()):
+            row = single_source_distances(graph, source, UNREACHABLE)
+            assert (row == dist[source]).all()
+
+    def test_isolated_source(self):
+        graph = nx.empty_graph(3)
+        graph.add_edge(1, 2)
+        row = single_source_distances(graph, 0, UNREACHABLE)
+        assert row[0] == 0
+        assert row[1] == UNREACHABLE
+
+
+class TestIncrementalAdd:
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_add_identity_is_exact(self, graph):
+        """min(d_u, 1 + d_v) equals a fresh BFS after adding uv."""
+        dist = apsp_matrix(graph, UNREACHABLE)
+        non_edges = [
+            (u, v)
+            for u in graph
+            for v in graph
+            if u < v and not graph.has_edge(u, v)
+        ]
+        for u, v in non_edges[:5]:
+            predicted = dist_vector_after_add(dist, u, v)
+            mutated = graph.copy()
+            mutated.add_edge(u, v)
+            actual = single_source_distances(mutated, u, UNREACHABLE)
+            assert (predicted == actual).all()
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_gain_matches_recomputation(self, graph):
+        dist = apsp_matrix(graph, UNREACHABLE)
+        non_edges = [
+            (u, v)
+            for u in graph
+            for v in graph
+            if u != v and not graph.has_edge(u, v)
+        ]
+        for u, v in non_edges[:5]:
+            mutated = graph.copy()
+            mutated.add_edge(u, v)
+            recomputed = single_source_distances(mutated, u, UNREACHABLE)
+            expected = int(dist[u].sum() - recomputed.sum())
+            assert added_edge_dist_gain(dist, u, v) == expected
+
+    def test_gain_nonnegative(self):
+        dist = apsp_matrix(nx.path_graph(6), UNREACHABLE)
+        assert added_edge_dist_gain(dist, 0, 5) > 0
+        assert added_edge_dist_gain(dist, 0, 2) >= 0
+
+
+class TestRemoval:
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_removal_vector_matches_recomputation(self, graph):
+        for u, v in list(graph.edges)[:5]:
+            predicted = removed_edge_dist_vector(graph, u, v, UNREACHABLE)
+            mutated = graph.copy()
+            mutated.remove_edge(u, v)
+            actual = single_source_distances(mutated, u, UNREACHABLE)
+            assert (predicted == actual).all()
+            assert graph.has_edge(u, v)  # graph restored
+
+    def test_missing_edge_rejected(self):
+        with pytest.raises(ValueError):
+            removed_edge_dist_vector(nx.path_graph(3), 0, 2, UNREACHABLE)
+
+
+class TestDistanceMatrixClass:
+    def test_totals_and_diameter(self):
+        dm = DistanceMatrix(nx.path_graph(4), UNREACHABLE)
+        assert dm.total(0) == 1 + 2 + 3
+        assert dm.diameter() == 3
+        assert dm.eccentricity(1) == 2
+
+    def test_remove_loss_on_cycle(self):
+        dm = DistanceMatrix(nx.cycle_graph(5), UNREACHABLE)
+        # breaking one edge turns the 5-cycle into a path: 6 -> 10
+        assert dm.remove_loss(0, 1) == 4
+
+    def test_add_gain_on_path_ends(self):
+        dm = DistanceMatrix(nx.path_graph(5), UNREACHABLE)
+        # closing the path into a cycle: dist(0) drops from 10 to 6
+        assert dm.add_gain(0, 4) == 4
+
+
+class TestComponents:
+    def test_component_labels(self):
+        graph = nx.empty_graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        labels = component_labels(graph)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+
+class TestCanonicalLabels:
+    def test_string_nodes(self):
+        graph = nx.Graph([("b", "a"), ("a", "c")])
+        relabeled = canonical_labels(graph)
+        assert set(relabeled.nodes) == {0, 1, 2}
+        assert relabeled.number_of_edges() == 2
+
+    def test_preserves_structure(self):
+        graph = nx.star_graph(4)
+        relabeled = canonical_labels(graph)
+        assert nx.is_isomorphic(graph, relabeled)

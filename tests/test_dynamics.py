@@ -1,0 +1,187 @@
+"""Tests for the dynamics engine, move generators and schedulers."""
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+from repro.dynamics.engine import run_dynamics
+from repro.dynamics.movegen import improving_moves, move_generator_for
+from repro.dynamics.schedulers import (
+    best_improvement_scheduler,
+    first_improvement_scheduler,
+    random_improvement_scheduler,
+)
+from repro.equilibria.certificates import validate_certificate
+from repro.equilibria.pairwise import (
+    is_bilateral_greedy_equilibrium,
+    is_pairwise_stable,
+)
+from repro.equilibria.registry import check
+from repro.equilibria.remove import is_remove_equilibrium
+from repro.graphs.generation import random_connected_gnp, random_tree
+
+
+class TestMoveGenerators:
+    def test_all_generated_moves_are_improving(self):
+        state = GameState(nx.path_graph(8), 2)
+        for concept in (Concept.RE, Concept.BAE, Concept.PS, Concept.BSWE,
+                        Concept.BGE):
+            for move in improving_moves(state, concept):
+                assert validate_certificate(state, move), (concept, move)
+
+    def test_equilibrium_generates_nothing(self):
+        state = GameState(nx.star_graph(7), 2)
+        for concept in (Concept.RE, Concept.BAE, Concept.PS, Concept.BSWE,
+                        Concept.BGE, Concept.BNE):
+            assert list(improving_moves(state, concept)) == []
+
+    def test_generator_consistency_with_checkers(self, rng):
+        """No improving move <=> the concept's checker passes."""
+        for seed in range(12):
+            graph = random_connected_gnp(7, 0.25, random.Random(seed))
+            for alpha in (1, 2, 4):
+                state = GameState(graph, alpha)
+                for concept in (Concept.PS, Concept.BGE):
+                    empty = not list(improving_moves(state, concept))
+                    assert empty == check(state, concept)
+
+    def test_swap_moves_on_general_graphs(self):
+        state = GameState(nx.cycle_graph(8), 2)
+        for move in improving_moves(state, Concept.BSWE):
+            assert validate_certificate(state, move)
+
+    def test_curried_generator(self):
+        generate = move_generator_for(Concept.PS)
+        state = GameState(nx.path_graph(6), 1)
+        assert list(generate(state)) == list(
+            improving_moves(state, Concept.PS)
+        )
+
+    def test_unknown_concept_rejected(self):
+        state = GameState(nx.path_graph(3), 1)
+        with pytest.raises(ValueError):
+            list(improving_moves(state, Concept.UNILATERAL_NE))
+
+
+class TestSchedulers:
+    def test_first_returns_first(self):
+        state = GameState(nx.path_graph(8), 1)
+        moves = list(improving_moves(state, Concept.PS))
+        chosen = first_improvement_scheduler(
+            state, iter(moves), random.Random(0)
+        )
+        assert chosen == moves[0]
+
+    def test_random_is_seeded(self):
+        state = GameState(nx.path_graph(8), 1)
+        pick = lambda seed: random_improvement_scheduler(
+            state, improving_moves(state, Concept.PS), random.Random(seed)
+        )
+        assert pick(7) == pick(7)
+
+    def test_best_picks_largest_drop(self):
+        state = GameState(nx.path_graph(9), 1)
+        best = best_improvement_scheduler(
+            state, improving_moves(state, Concept.BAE), random.Random(0)
+        )
+        # closing the two ends is the single most valuable addition
+        assert best is not None
+        assert {best.u, best.v} == {0, 8}
+
+    def test_empty_iterator_gives_none(self):
+        state = GameState(nx.star_graph(4), 2)
+        for scheduler in (
+            first_improvement_scheduler,
+            random_improvement_scheduler,
+            best_improvement_scheduler,
+        ):
+            assert scheduler(state, iter([]), random.Random(0)) is None
+
+
+class TestRunDynamics:
+    def test_converged_state_passes_checker(self, rng):
+        for seed in range(8):
+            graph = random_tree(9, random.Random(seed))
+            result = run_dynamics(graph, 3, Concept.PS, max_rounds=300)
+            if result.converged:
+                assert is_pairwise_stable(result.final)
+
+    def test_bge_dynamics_reach_bge(self, rng):
+        for seed in range(6):
+            graph = random_tree(8, random.Random(100 + seed))
+            result = run_dynamics(graph, 2, Concept.BGE, max_rounds=300)
+            if result.converged:
+                assert is_bilateral_greedy_equilibrium(result.final)
+
+    def test_social_cost_recorded_per_move(self):
+        result = run_dynamics(nx.path_graph(7), 1, Concept.PS, max_rounds=100)
+        assert len(result.social_costs) == len(result.moves) + 1
+
+    def test_removal_dynamics_monotone_for_actor(self):
+        """Every applied move is validated improving (spot check RE)."""
+        graph = nx.complete_graph(6)
+        result = run_dynamics(graph, 5, Concept.RE, max_rounds=100)
+        assert result.converged
+        assert is_remove_equilibrium(result.final)
+
+    def test_star_converges_immediately(self):
+        result = run_dynamics(nx.star_graph(6), 2, Concept.BGE)
+        assert result.converged
+        assert result.rounds == 0
+
+    def test_rho_trace(self):
+        result = run_dynamics(nx.path_graph(6), 1, Concept.PS, max_rounds=50)
+        trace = result.rho_trace
+        assert len(trace) == len(result.social_costs)
+        assert all(value >= 1 for value in trace)
+
+    def test_max_rounds_respected(self):
+        result = run_dynamics(
+            nx.path_graph(12), 1, Concept.PS, max_rounds=1
+        )
+        assert result.rounds <= 1
+
+    def test_best_scheduler_also_converges(self):
+        result = run_dynamics(
+            nx.path_graph(8),
+            2,
+            Concept.PS,
+            scheduler=best_improvement_scheduler,
+            max_rounds=200,
+        )
+        if result.converged:
+            assert is_pairwise_stable(result.final)
+
+    def test_improving_dynamics_lower_cost_weakly_for_ps_trees(self):
+        """On trees, PS moves are additions (removals disconnect), and each
+        addition strictly helps both movers; social cost may still rise,
+        but rho stays finite and the run terminates."""
+        result = run_dynamics(nx.path_graph(10), 2, Concept.PS, max_rounds=500)
+        assert result.converged or result.cycled or result.rounds == 500
+
+
+class TestCyclingBehaviour:
+    """The BNCG admits no potential function: improving dynamics can
+    revisit a state.  This pins a concrete deterministic cycle so the
+    detection machinery stays honest."""
+
+    def test_ps_dynamics_can_cycle(self):
+        start = random_tree(24, random.Random(7))
+        result = run_dynamics(
+            start, 12, Concept.PS, max_rounds=2000, rng=random.Random(7)
+        )
+        assert result.cycled
+        assert not result.converged
+        assert result.rounds == 26
+
+    def test_cycled_runs_do_not_claim_equilibrium(self):
+        start = random_tree(24, random.Random(7))
+        result = run_dynamics(
+            start, 12, Concept.PS, max_rounds=2000, rng=random.Random(7)
+        )
+        # the final state genuinely admits an improving move
+        assert list(improving_moves(result.final, Concept.PS))

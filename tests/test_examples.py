@@ -1,0 +1,50 @@
+"""Smoke tests: every example runs end-to-end on reduced parameters."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        output = capsys.readouterr().out
+        assert "pairwise stable?" in output
+        assert "star: rho = 1.0" in output
+
+    def test_cooperation_ladder_small(self, capsys):
+        load_example("cooperation_ladder").main(7)
+        output = capsys.readouterr().out
+        assert "PoA(PS)" in output
+        assert "PoA(3-BSE)" in output
+
+    def test_isp_peering_small(self, capsys):
+        load_example("isp_peering").main(10, 5, 3)
+        output = capsys.readouterr().out
+        assert "Peering dynamics" in output
+        assert "ISPs" in output
+
+    def test_conjecture_hunt_small(self, capsys):
+        load_example("conjecture_hunt").main(5, 2, 3)
+        output = capsys.readouterr().out
+        assert "Frozen minimal witness" in output
+
+    @pytest.mark.slow
+    def test_worst_case_gallery(self, capsys):
+        load_example("worst_case_gallery").main()
+        output = capsys.readouterr().out
+        assert "Worst-case gallery" in output
+        assert "checks hold" in output

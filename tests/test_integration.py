@@ -1,0 +1,112 @@
+"""Integration tests: whole-pipeline scenarios across modules."""
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro import (
+    Concept,
+    GameState,
+    check,
+    find_improving_bilateral_add,
+    validate_certificate,
+)
+from repro.analysis.poa import empirical_tree_poa
+from repro.constructions.spiders import ps_lower_bound_spider
+from repro.constructions.stretched import bge_lower_bound_star
+from repro.core.optimum import optimum_cost, optimum_graph
+from repro.dynamics.engine import run_dynamics
+from repro.dynamics.schedulers import best_improvement_scheduler
+from repro.equilibria.pairwise import is_pairwise_stable
+from repro.graphs.generation import random_tree
+
+
+class TestEndToEndDynamicsToCertifiedEquilibrium:
+    """random start -> dynamics -> checker-certified equilibrium -> PoA."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_ps_pipeline(self, seed):
+        start = random_tree(10, random.Random(seed))
+        result = run_dynamics(start, 4, Concept.PS, max_rounds=500)
+        assert result.converged
+        final = result.final
+        assert is_pairwise_stable(final)
+        assert 1 <= final.rho() <= 1 + Fraction(final.n**2, 4)
+
+    def test_best_response_ps_reaches_lower_cost_than_worst_case(self):
+        start = nx.path_graph(12)
+        result = run_dynamics(
+            start, 3, Concept.PS,
+            scheduler=best_improvement_scheduler, max_rounds=500,
+        )
+        assert result.converged
+        worst = empirical_tree_poa(12, 3, Concept.PS)
+        # dynamics end at *some* PS state; it cannot beat the worst case
+        assert result.final.rho() <= worst.poa or not result.final.is_tree()
+
+
+class TestConstructionsMeetTheirBounds:
+    def test_spider_rho_between_one_and_shape(self):
+        state = GameState(ps_lower_bound_spider(100, 64), 64)
+        assert is_pairwise_stable(state)
+        assert 1 < state.rho() < 8  # min(sqrt 64, 100/8) = 8
+
+    def test_stretched_star_rho_in_theorem_window(self):
+        import math
+
+        alpha = 480
+        star = bge_lower_bound_star(alpha, eta=600)
+        state = GameState(star.graph, alpha)
+        assert check(state, Concept.BGE)
+        rho = float(state.rho())
+        assert rho >= math.log2(alpha) / 4 - 17 / 8
+        assert rho <= 2 + 2 * math.log2(alpha)
+
+
+class TestOptimumInteroperability:
+    def test_optimum_graph_is_equilibrium_for_ladder(self):
+        for alpha in (1, 2, 7):
+            state = GameState(optimum_graph(8, alpha), alpha)
+            for concept in (Concept.RE, Concept.BAE, Concept.PS,
+                            Concept.BSWE, Concept.BGE):
+                assert check(state, concept)
+
+    def test_rho_exactly_one_on_optimum(self):
+        for alpha in (Fraction(1, 2), 1, 5):
+            state = GameState(optimum_graph(7, alpha), alpha)
+            assert state.social_cost() == optimum_cost(7, alpha)
+            assert state.rho() == 1
+
+
+class TestCertificateRoundTrip:
+    def test_certified_move_strictly_improves_and_applies(self):
+        state = GameState(nx.path_graph(9), 2)
+        move = find_improving_bilateral_add(state)
+        assert move is not None
+        assert validate_certificate(state, move)
+        after = state.apply(move)
+        assert after.graph.has_edge(move.u, move.v)
+        assert after.cost(move.u) < state.cost(move.u)
+        assert after.cost(move.v) < state.cost(move.v)
+
+    def test_apply_returns_fresh_state(self):
+        state = GameState(nx.path_graph(5), 1)
+        move = find_improving_bilateral_add(state)
+        after = state.apply(move)
+        assert state.graph.number_of_edges() == 4  # unchanged
+        assert after.graph.number_of_edges() == 5
+
+
+class TestPublicApiSurface:
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,110 @@
+"""Figure 1a: the subset lattice of solution concepts.
+
+Every arrow of the paper's diagram is verified as an implication over
+exhaustively enumerated small graphs and a grid of alpha values; the
+properness of each inclusion is witnessed by the frozen examples
+(tests/test_venn.py and tests/test_figures.py cover those).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.state import GameState
+from repro.equilibria.add import is_bilateral_add_equilibrium
+from repro.equilibria.neighborhood import is_neighborhood_equilibrium
+from repro.equilibria.pairwise import (
+    is_bilateral_greedy_equilibrium,
+    is_pairwise_stable,
+)
+from repro.equilibria.remove import is_remove_equilibrium
+from repro.equilibria.strong import is_k_strong_equilibrium
+from repro.equilibria.swap import is_bilateral_swap_equilibrium
+from repro.graphs.generation import all_connected_graphs, all_trees
+
+ALPHAS = [Fraction(1, 2), 1, Fraction(3, 2), 2, 3, 5]
+
+
+def states(n: int):
+    for graph in all_connected_graphs(n):
+        for alpha in ALPHAS:
+            yield GameState(graph, alpha)
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+class TestLatticeInclusions:
+    def test_ps_equals_re_and_bae(self, n):
+        for state in states(n):
+            assert is_pairwise_stable(state) == (
+                is_remove_equilibrium(state)
+                and is_bilateral_add_equilibrium(state)
+            )
+
+    def test_bge_equals_ps_and_bswe(self, n):
+        for state in states(n):
+            assert is_bilateral_greedy_equilibrium(state) == (
+                is_pairwise_stable(state)
+                and is_bilateral_swap_equilibrium(state)
+            )
+
+    def test_bne_subset_of_bge(self, n):
+        for state in states(n):
+            if is_neighborhood_equilibrium(state):
+                assert is_bilateral_greedy_equilibrium(state)
+
+    def test_kbse_chain(self, n):
+        """BSE = n-BSE ⊆ ... ⊆ 3-BSE ⊆ 2-BSE."""
+        for state in states(n):
+            previous = None
+            for k in range(1, n + 1):
+                stable = is_k_strong_equilibrium(state, k)
+                if previous is not None and stable:
+                    assert previous
+                previous = stable
+
+    def test_2bse_subset_of_bge(self, n):
+        for state in states(n):
+            if is_k_strong_equilibrium(state, 2):
+                assert is_bilateral_greedy_equilibrium(state)
+
+    def test_1bse_equals_multi_removal_stability(self, n):
+        """1-BSE allows multi-removals; by the Corbo–Parkes argument it
+        coincides with RE on these instances."""
+        for state in states(n):
+            assert is_k_strong_equilibrium(state, 1) == is_remove_equilibrium(
+                state
+            )
+
+
+@pytest.mark.parametrize("n", [5, 6, 7])
+class TestTreeSpecifics:
+    def test_proposition_3_7_bge_iff_2bse_on_trees(self, n):
+        for graph in all_trees(n):
+            for alpha in ALPHAS:
+                state = GameState(graph, alpha)
+                assert is_bilateral_greedy_equilibrium(
+                    state
+                ) == is_k_strong_equilibrium(state, 2)
+
+    def test_trees_in_re(self, n):
+        for graph in all_trees(n):
+            assert is_remove_equilibrium(GameState(graph, Fraction(1, 2)))
+
+
+class TestKnownProperness:
+    def test_bne_proper_subset_witness(self):
+        """Figure 5's graph: BGE holds, BNE fails."""
+        from repro.constructions.figures import figure5_bae_bge_not_bne
+
+        fig = figure5_bae_bge_not_bne()
+        state = GameState(fig.graph, fig.alpha)
+        assert is_bilateral_greedy_equilibrium(state)
+
+    def test_2bse_proper_subset_witness(self):
+        """Figure 6's graph: BNE holds, 2-BSE fails (Corollary A.6)."""
+        from repro.constructions.figures import figure6_bne_not_2bse
+
+        fig = figure6_bne_not_2bse()
+        state = GameState(fig.graph, fig.alpha)
+        assert is_neighborhood_equilibrium(state)
+        assert not is_k_strong_equilibrium(state, 2)

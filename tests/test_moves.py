@@ -1,0 +1,120 @@
+"""Tests for move datatypes (repro.core.moves)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.moves import (
+    AddEdge,
+    CoalitionMove,
+    NeighborhoodMove,
+    RemoveEdge,
+    Swap,
+    normalize_edge,
+)
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(3, 1) == (1, 3)
+        assert normalize_edge(1, 3) == (1, 3)
+
+    def test_rejects_loop(self):
+        with pytest.raises(ValueError):
+            normalize_edge(2, 2)
+
+
+class TestRemoveEdge:
+    def test_apply(self):
+        move = RemoveEdge(actor=0, other=1)
+        result = move.apply(nx.path_graph(3))
+        assert not result.has_edge(0, 1)
+        assert result.has_edge(1, 2)
+
+    def test_beneficiaries(self):
+        assert RemoveEdge(actor=2, other=1).beneficiaries() == (2,)
+
+    def test_original_untouched(self):
+        graph = nx.path_graph(3)
+        RemoveEdge(actor=0, other=1).apply(graph)
+        assert graph.has_edge(0, 1)
+
+
+class TestAddEdge:
+    def test_apply(self):
+        result = AddEdge(0, 2).apply(nx.path_graph(3))
+        assert result.has_edge(0, 2)
+
+    def test_rejects_existing(self):
+        with pytest.raises(ValueError):
+            AddEdge(0, 1).apply(nx.path_graph(3))
+
+    def test_beneficiaries_are_both_endpoints(self):
+        assert AddEdge(0, 2).beneficiaries() == (0, 2)
+
+
+class TestSwap:
+    def test_apply(self):
+        result = Swap(actor=0, old=1, new=2).apply(nx.path_graph(3))
+        assert not result.has_edge(0, 1)
+        assert result.has_edge(0, 2)
+
+    def test_rejects_missing_old(self):
+        with pytest.raises(ValueError):
+            Swap(actor=0, old=2, new=1).apply(nx.path_graph(3))
+
+    def test_rejects_existing_new(self):
+        graph = nx.cycle_graph(3)
+        with pytest.raises(ValueError):
+            Swap(actor=0, old=1, new=2).apply(graph)
+
+    def test_beneficiaries(self):
+        assert Swap(actor=0, old=1, new=2).beneficiaries() == (0, 2)
+
+
+class TestNeighborhoodMove:
+    def test_apply(self):
+        move = NeighborhoodMove(center=0, removed=(1,), added=(3,))
+        result = move.apply(nx.path_graph(4))
+        assert not result.has_edge(0, 1)
+        assert result.has_edge(0, 3)
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            NeighborhoodMove(center=0, removed=(1,), added=(1,))
+
+    def test_rejects_center_in_partners(self):
+        with pytest.raises(ValueError):
+            NeighborhoodMove(center=0, removed=(0,), added=())
+
+    def test_rejects_adding_existing_edge(self):
+        move = NeighborhoodMove(center=0, removed=(), added=(1,))
+        with pytest.raises(ValueError):
+            move.apply(nx.path_graph(3))
+
+    def test_beneficiaries_center_plus_added(self):
+        move = NeighborhoodMove(center=5, removed=(1, 2), added=(3, 4))
+        assert move.beneficiaries() == (5, 3, 4)
+
+
+class TestCoalitionMove:
+    def test_apply(self):
+        move = CoalitionMove(
+            coalition=(0, 2),
+            removed_edges=((0, 1),),
+            added_edges=((0, 2),),
+        )
+        result = move.apply(nx.path_graph(3))
+        assert not result.has_edge(0, 1)
+        assert result.has_edge(0, 2)
+
+    def test_rejects_nonincident_removal(self):
+        with pytest.raises(ValueError):
+            CoalitionMove(coalition=(0,), removed_edges=((1, 2),))
+
+    def test_rejects_outside_addition(self):
+        with pytest.raises(ValueError):
+            CoalitionMove(coalition=(0, 1), added_edges=((0, 2),))
+
+    def test_beneficiaries_are_members(self):
+        move = CoalitionMove(coalition=(1, 2, 3))
+        assert move.beneficiaries() == (1, 2, 3)

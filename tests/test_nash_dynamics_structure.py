@@ -1,0 +1,101 @@
+"""Tests for unilateral best-response dynamics and structure analysis."""
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.analysis.structure import equilibrium_family_shape, tree_shape
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+from repro.equilibria.nash import is_nash_equilibrium
+from repro.equilibria.nash_dynamics import unilateral_best_response_dynamics
+from repro.equilibria.pairwise import is_pairwise_stable
+
+
+class TestUnilateralDynamics:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_converged_outcome_is_exact_ne(self, seed):
+        outcome = unilateral_best_response_dynamics(
+            6, 3, random.Random(seed)
+        )
+        assert outcome.converged
+        state = outcome.state(3)
+        outcome.assignment.validate(state.graph)
+        assert is_nash_equilibrium(state, outcome.assignment)
+
+    def test_star_start_stays_ne(self):
+        """Starting at a leaf-owned star, nobody moves."""
+        outcome = unilateral_best_response_dynamics(
+            6, 5, random.Random(0), start=nx.star_graph(5)
+        )
+        assert outcome.converged
+        assert outcome.rounds == 1  # one silent round certifies NE
+
+    def test_no_duplicate_purchases_at_convergence(self):
+        outcome = unilateral_best_response_dynamics(7, 2, random.Random(3))
+        bought = {}
+        for (u, v), owner in outcome.assignment.owner.items():
+            assert bought.setdefault((u, v), owner) == owner
+
+    def test_connectivity_maintained(self):
+        """M-dominance keeps best responses connected."""
+        outcome = unilateral_best_response_dynamics(8, 4, random.Random(5))
+        assert nx.is_connected(outcome.graph)
+
+    def test_sampled_ne_feed_the_conjecture_question(self):
+        """Dynamics-sampled NE can themselves violate pairwise stability
+        (the Prop 2.3 phenomenon) — or not; both verdicts must be
+        consistent between checkers."""
+        for seed in range(4):
+            outcome = unilateral_best_response_dynamics(
+                6, 2, random.Random(seed)
+            )
+            if not outcome.converged:
+                continue
+            state = outcome.state(2)
+            # NE certified; PS may or may not hold (that is the point)
+            assert is_nash_equilibrium(state, outcome.assignment)
+            is_pairwise_stable(state)  # must simply not crash / be exact
+
+
+class TestTreeShape:
+    def test_star_shape(self):
+        state = GameState(nx.star_graph(6), 2)
+        depth, diameter, degree = tree_shape(state)
+        assert depth == 1
+        assert diameter == 2
+        assert degree == 6
+
+    def test_path_shape(self):
+        state = GameState(nx.path_graph(7), 2)
+        depth, diameter, degree = tree_shape(state)
+        assert depth == 3  # from the median
+        assert diameter == 6
+        assert degree == 2
+
+
+class TestFamilyShape:
+    def test_bswe_family_respects_lemma_3_4(self):
+        for alpha in (2, 8, 32):
+            shape = equilibrium_family_shape(9, alpha, Concept.BSWE)
+            assert shape.count >= 1
+            assert shape.depth_within_lemma_3_4, shape
+
+    def test_ps_family_can_be_deeper_than_bswe(self):
+        """At moderate alpha the PS family includes deeper trees than the
+        swap-stable family — the structural face of the PoA gap."""
+        alpha = 16
+        ps = equilibrium_family_shape(9, alpha, Concept.PS)
+        bswe = equilibrium_family_shape(9, alpha, Concept.BSWE)
+        assert ps.max_diameter >= bswe.max_diameter
+
+    def test_no_equilibria_raises(self):
+        with pytest.raises(ValueError):
+            equilibrium_family_shape(8, Fraction(1, 100), Concept.PS)
+
+    def test_k_parameter_forwarded(self):
+        shape = equilibrium_family_shape(7, 4, Concept.BGE, k=3)
+        assert shape.k == 3
+        assert shape.count >= 1

@@ -1,0 +1,87 @@
+"""Tests for social optima (repro.core.optimum) against brute force."""
+
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.core.optimum import (
+    brute_force_optimum_cost,
+    optimum_cost,
+    optimum_graph,
+    social_cost_ratio,
+)
+from repro.core.state import GameState
+
+
+class TestOptimumFormulas:
+    def test_clique_formula_below_one(self):
+        n, alpha = 5, Fraction(1, 2)
+        expected = n * (n - 1) * (1 + alpha)
+        assert optimum_cost(n, alpha) == expected
+        assert GameState(nx.complete_graph(n), alpha).social_cost() == expected
+
+    def test_star_formula_above_one(self):
+        n, alpha = 6, 3
+        expected = 2 * (n - 1) * (alpha + n - 1)
+        assert optimum_cost(n, alpha) == expected
+        assert GameState(nx.star_graph(n - 1), alpha).social_cost() == expected
+
+    def test_formulas_agree_at_one(self):
+        for n in (2, 3, 5, 8):
+            clique_cost = n * (n - 1) * 2
+            assert optimum_cost(n, 1) == clique_cost
+
+    def test_single_agent(self):
+        assert optimum_cost(1, 5) == 0
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    @pytest.mark.parametrize(
+        "alpha", [Fraction(1, 2), Fraction(4, 5), 1, Fraction(3, 2), 2, 4, 10]
+    )
+    def test_matches_brute_force(self, n, alpha):
+        """The closed forms equal the true minimum over all connected
+        graphs (exhaustive via the atlas)."""
+        assert optimum_cost(n, alpha) == brute_force_optimum_cost(n, alpha)
+
+
+class TestOptimumGraph:
+    def test_clique_below_one(self):
+        graph = optimum_graph(4, Fraction(1, 2))
+        assert graph.number_of_edges() == 6
+
+    def test_star_above_one(self):
+        graph = optimum_graph(5, 2)
+        assert graph.number_of_edges() == 4
+        assert max(dict(graph.degree).values()) == 4
+
+    def test_optimum_graph_attains_optimum_cost(self):
+        for alpha in (Fraction(1, 2), 1, 3):
+            for n in (2, 4, 7):
+                state = GameState(optimum_graph(n, alpha), alpha)
+                assert state.social_cost() == optimum_cost(n, alpha)
+
+
+class TestSocialCostRatio:
+    def test_optimum_has_ratio_one(self):
+        state = GameState(nx.star_graph(5), 2)
+        assert social_cost_ratio(state) == 1
+
+    def test_ratio_above_one_otherwise(self):
+        state = GameState(nx.path_graph(6), 2)
+        assert social_cost_ratio(state) > 1
+
+    def test_single_node(self):
+        assert social_cost_ratio(GameState(nx.empty_graph(1), 2)) == 1
+
+    def test_disconnected_ratio_is_huge(self):
+        graph = nx.empty_graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        state = GameState(graph, 2)
+        # each of the 4 agents pays M > alpha*n + n^2 per unreachable peer
+        assert social_cost_ratio(state) > 5
+
+    def test_rho_method_matches(self):
+        state = GameState(nx.path_graph(5), 3)
+        assert state.rho() == social_cost_ratio(state)

@@ -1,0 +1,170 @@
+"""Hypothesis property tests for cross-module invariants.
+
+These encode the paper's structural facts as universally quantified
+properties over random instances — the strongest regression net the
+reproduction has.
+"""
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.core.concepts import Concept
+from repro.core.state import GameState
+from repro.dynamics.movegen import improving_moves
+from repro.equilibria.add import pairwise_add_gains
+from repro.equilibria.certificates import validate_certificate
+from repro.equilibria.pairwise import (
+    is_bilateral_greedy_equilibrium,
+    is_pairwise_stable,
+)
+from repro.equilibria.registry import check
+from repro.equilibria.swap import swap_gains
+from repro.graphs.generation import random_connected_gnp, random_tree
+
+ALPHA_POOL = [Fraction(1, 2), 1, Fraction(3, 2), 2, Fraction(9, 2), 7, 20]
+
+
+@st.composite
+def tree_states(draw, max_n=14):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=9_999))
+    alpha = draw(st.sampled_from(ALPHA_POOL))
+    return GameState(random_tree(n, random.Random(seed)), alpha)
+
+
+@st.composite
+def graph_states(draw, max_n=10):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=9_999))
+    p = draw(st.floats(min_value=0.0, max_value=0.4))
+    alpha = draw(st.sampled_from(ALPHA_POOL))
+    return GameState(
+        random_connected_gnp(n, p, random.Random(seed)), alpha
+    )
+
+
+class TestCostInvariants:
+    @given(graph_states())
+    @settings(max_examples=50, deadline=None)
+    def test_social_cost_decomposition(self, state):
+        m = state.graph.number_of_edges()
+        total_dist = sum(state.dist_cost(u) for u in range(state.n))
+        assert state.social_cost() == 2 * state.alpha * m + total_dist
+
+    @given(graph_states())
+    @settings(max_examples=50, deadline=None)
+    def test_rho_at_least_one(self, state):
+        assert state.rho() >= 1
+
+    @given(tree_states())
+    @settings(max_examples=50, deadline=None)
+    def test_star_never_beaten(self, state):
+        """No tree beats the social optimum formula at alpha >= 1."""
+        if state.alpha >= 1:
+            assert state.social_cost() >= state.optimum_cost()
+
+
+class TestGainIdentities:
+    @given(graph_states(max_n=9))
+    @settings(max_examples=30, deadline=None)
+    def test_add_gains_match_direct_recomputation(self, state):
+        gains = pairwise_add_gains(state)
+        pairs = [
+            (u, v) for u in range(state.n) for v in range(state.n)
+            if u < v and not state.graph.has_edge(u, v)
+        ]
+        for u, v in pairs[:4]:
+            mutated = state.graph.copy()
+            mutated.add_edge(u, v)
+            after = GameState(mutated, state.alpha)
+            assert gains[u, v] == state.dist_cost(u) - after.dist_cost(u)
+            assert gains[v, u] == state.dist_cost(v) - after.dist_cost(v)
+
+    @given(tree_states(max_n=12))
+    @settings(max_examples=30, deadline=None)
+    def test_swap_gains_consistent_with_full_rebuild(self, state):
+        edges = list(state.graph.edges)
+        if not edges:
+            return
+        u, v = edges[0]
+        candidates = [
+            w for w in range(state.n)
+            if w not in (u, v) and not state.graph.has_edge(u, w)
+        ]
+        for w in candidates[:3]:
+            gain_u, gain_w = swap_gains(state, u, v, w)
+            mutated = state.graph.copy()
+            mutated.remove_edge(u, v)
+            mutated.add_edge(u, w)
+            after = GameState(mutated, state.alpha)
+            assert gain_u == state.dist_cost(u) - after.dist_cost(u)
+            assert gain_w == state.dist_cost(w) - after.dist_cost(w)
+
+
+class TestLadderInvariants:
+    @given(graph_states(max_n=8))
+    @settings(max_examples=40, deadline=None)
+    def test_bge_implies_ps(self, state):
+        if is_bilateral_greedy_equilibrium(state):
+            assert is_pairwise_stable(state)
+
+    @given(tree_states(max_n=10))
+    @settings(max_examples=30, deadline=None)
+    def test_trees_bge_iff_2bse(self, state):
+        """Proposition 3.7 as a random property."""
+        assert is_bilateral_greedy_equilibrium(state) == check(
+            state, Concept.BGE, k=2
+        )
+
+    @given(graph_states(max_n=8))
+    @settings(max_examples=30, deadline=None)
+    def test_corollary_3_2(self, state):
+        """Connected RE graphs: rho <= 1 + n^2/alpha."""
+        from repro.equilibria.remove import is_remove_equilibrium
+
+        if is_remove_equilibrium(state):
+            assert state.rho() <= 1 + Fraction(state.n**2) / state.alpha
+
+
+class TestMoveGeneratorSoundness:
+    @given(graph_states(max_n=8))
+    @settings(max_examples=30, deadline=None)
+    def test_every_generated_move_is_certified(self, state):
+        for concept in (Concept.PS, Concept.BGE):
+            for move in improving_moves(state, concept):
+                assert validate_certificate(state, move)
+
+    @given(tree_states(max_n=10))
+    @settings(max_examples=30, deadline=None)
+    def test_no_moves_iff_checker_passes(self, state):
+        for concept in (Concept.PS, Concept.BSWE):
+            has_move = any(True for _ in improving_moves(state, concept))
+            assert has_move != check(state, concept)
+
+
+class TestDisconnectionSemantics:
+    @given(
+        n=st.integers(min_value=4, max_value=9),
+        alpha=st.sampled_from(ALPHA_POOL),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reconnecting_always_mutually_improving(self, n, alpha):
+        """Two components always want to merge: M dominates alpha."""
+        graph = nx.empty_graph(n)
+        for node in range(1, n // 2):
+            graph.add_edge(0, node)
+        for node in range(n // 2 + 1, n):
+            graph.add_edge(n // 2, node)
+        state = GameState(graph, alpha)
+        from repro.equilibria.add import find_improving_bilateral_add
+
+        move = find_improving_bilateral_add(state)
+        assert move is not None
+        components = [
+            nx.node_connected_component(graph, move.u),
+            nx.node_connected_component(graph, move.v),
+        ]
+        assert components[0] != components[1]

@@ -1,0 +1,126 @@
+"""Tests for the checker registry, graph generation, and certificates."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.concepts import Concept, TREE_LADDER
+from repro.core.moves import AddEdge, RemoveEdge
+from repro.core.state import GameState
+from repro.equilibria.certificates import StabilityReport, validate_certificate
+from repro.equilibria.registry import check, checker_for
+from repro.graphs.generation import (
+    all_connected_graphs,
+    all_trees,
+    random_connected_gnp,
+    random_tree,
+)
+
+
+class TestRegistry:
+    def test_checker_for_every_dispatchable_concept(self):
+        for concept in (Concept.RE, Concept.BAE, Concept.PS, Concept.BSWE,
+                        Concept.BGE, Concept.BNE, Concept.BSE,
+                        Concept.UNILATERAL_AE):
+            assert checker_for(concept) is not None
+
+    def test_unilateral_ne_not_dispatchable(self):
+        with pytest.raises(ValueError):
+            checker_for(Concept.UNILATERAL_NE)
+
+    def test_check_with_k(self):
+        state = GameState(nx.star_graph(4), 2)
+        assert check(state, Concept.BGE, k=2)
+        assert check(state, Concept.BGE, k=3)
+
+    def test_check_dispatches(self):
+        state = GameState(nx.star_graph(4), 2)
+        for concept in TREE_LADDER:
+            assert check(state, concept)
+
+    def test_concept_enum_values(self):
+        assert Concept.PS.value == "pairwise-stability"
+        assert Concept.BSE.is_bilateral
+        assert not Concept.UNILATERAL_AE.is_bilateral
+        assert str(Concept.RE) == "remove-equilibrium"
+
+
+class TestTreeEnumeration:
+    @pytest.mark.parametrize(
+        "n,count", [(1, 1), (2, 1), (3, 1), (4, 2), (5, 3), (6, 6), (7, 11),
+                    (8, 23), (9, 47), (10, 106)]
+    )
+    def test_tree_counts(self, n, count):
+        assert sum(1 for _ in all_trees(n)) == count
+
+    def test_all_are_trees_with_canonical_nodes(self):
+        for tree in all_trees(7):
+            assert tree.number_of_edges() == 6
+            assert set(tree.nodes) == set(range(7))
+            assert nx.is_connected(tree)
+
+    def test_pairwise_non_isomorphic(self):
+        trees = list(all_trees(7))
+        for i in range(len(trees)):
+            for j in range(i + 1, len(trees)):
+                assert not nx.is_isomorphic(trees[i], trees[j])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            list(all_trees(0))
+
+
+class TestAtlasEnumeration:
+    @pytest.mark.parametrize("n,count", [(1, 1), (2, 1), (3, 2), (4, 6),
+                                         (5, 21), (6, 112)])
+    def test_connected_graph_counts(self, n, count):
+        assert sum(1 for _ in all_connected_graphs(n)) == count
+
+    def test_rejects_beyond_atlas(self):
+        with pytest.raises(ValueError):
+            list(all_connected_graphs(8))
+
+
+class TestRandomModels:
+    def test_random_tree_is_tree(self, rng):
+        for n in (1, 2, 5, 20):
+            tree = random_tree(n, rng)
+            assert tree.number_of_nodes() == n
+            assert tree.number_of_edges() == max(0, n - 1)
+            if n > 1:
+                assert nx.is_connected(tree)
+
+    def test_random_tree_seeded(self):
+        a = random_tree(10, random.Random(5))
+        b = random_tree(10, random.Random(5))
+        assert sorted(a.edges) == sorted(b.edges)
+
+    def test_gnp_connected(self, rng):
+        for _ in range(5):
+            graph = random_connected_gnp(12, 0.2, rng)
+            assert nx.is_connected(graph)
+
+    def test_gnp_denser_with_higher_p(self):
+        sparse = random_connected_gnp(20, 0.0, random.Random(1))
+        dense = random_connected_gnp(20, 0.9, random.Random(1))
+        assert dense.number_of_edges() > sparse.number_of_edges()
+
+
+class TestCertificates:
+    def test_valid_certificate_accepted(self):
+        state = GameState(nx.path_graph(6), 1)
+        assert validate_certificate(state, AddEdge(0, 5))
+
+    def test_non_improving_move_rejected(self):
+        state = GameState(nx.star_graph(5), 2)
+        # adding a leaf-to-leaf edge at alpha=2 gains only 1 < alpha
+        assert not validate_certificate(state, AddEdge(1, 2))
+
+    def test_removal_certificate(self):
+        state = GameState(nx.complete_graph(5), 10)
+        assert validate_certificate(state, RemoveEdge(actor=0, other=1))
+
+    def test_stability_report_truthiness(self):
+        assert StabilityReport(stable=True)
+        assert not StabilityReport(stable=False)

@@ -1,0 +1,63 @@
+"""Tests for the witness searches (repro.analysis.search)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.search import (
+    classify_re_bae_bswe,
+    search_nash_not_pairwise_stable,
+    search_venn_witnesses,
+)
+from repro.core.state import GameState
+from repro.equilibria.nash import is_nash_equilibrium
+from repro.equilibria.pairwise import is_pairwise_stable
+import networkx as nx
+
+
+class TestClassify:
+    def test_star_above_one(self):
+        state = GameState(nx.star_graph(4), 2)
+        assert classify_re_bae_bswe(state) == (True, True, True)
+
+    def test_triangle_high_alpha(self):
+        state = GameState(nx.complete_graph(3), 10)
+        re, bae, bswe = classify_re_bae_bswe(state)
+        assert not re  # dropping a triangle edge saves alpha, costs 1
+        assert bae
+
+
+class TestNashSearch:
+    @pytest.mark.slow
+    def test_finds_witness_on_five_nodes(self):
+        witnesses = search_nash_not_pairwise_stable(
+            sizes=(5,), max_results=1
+        )
+        assert witnesses
+        first = witnesses[0]
+        state = GameState(first.graph, first.alpha)
+        assert is_nash_equilibrium(state, first.assignment)
+        assert not is_pairwise_stable(state)
+
+    @pytest.mark.slow
+    def test_weak_edge_is_reported_correctly(self):
+        witnesses = search_nash_not_pairwise_stable(
+            sizes=(5,), max_results=2
+        )
+        for witness in witnesses:
+            actor, other = witness.weak_edge
+            assert witness.graph.has_edge(actor, other)
+
+
+class TestVennSearch:
+    def test_small_search_is_sound(self):
+        found = search_venn_witnesses(
+            sizes=(3, 4), alphas=(Fraction(1, 2), 1, 2)
+        )
+        for region, (graph, alpha) in found.items():
+            assert classify_re_bae_bswe(GameState(graph, alpha)) == region
+
+    @pytest.mark.slow
+    def test_full_search_covers_all_regions(self):
+        found = search_venn_witnesses(sizes=(3, 4, 5, 6, 7))
+        assert len(found) == 8

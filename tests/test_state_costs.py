@@ -1,0 +1,152 @@
+"""Tests for GameState and the cost model (repro.core.state / costs)."""
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import (
+    agent_cost_after,
+    all_strictly_improve,
+    cost_strictly_less,
+    max_agent_cost,
+    strictly_improves,
+)
+from repro.core.state import GameState
+from repro.graphs.generation import random_connected_gnp
+
+from tests.reference import naive_cost
+
+
+@st.composite
+def states(draw, max_n=10):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    p = draw(st.floats(min_value=0.0, max_value=0.4))
+    alpha = draw(
+        st.sampled_from([Fraction(1, 2), 1, Fraction(3, 2), 2, 5, 11])
+    )
+    graph = random_connected_gnp(n, p, random.Random(seed))
+    return GameState(graph, alpha)
+
+
+class TestGameStateBasics:
+    def test_relabels_foreign_nodes(self):
+        state = GameState(nx.Graph([("x", "y"), ("y", "z")]), 1)
+        assert set(state.graph.nodes) == {0, 1, 2}
+
+    def test_input_graph_copied(self):
+        graph = nx.path_graph(3)
+        state = GameState(graph, 1)
+        graph.add_edge(0, 2)
+        assert not state.graph.has_edge(0, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GameState(nx.empty_graph(0), 1)
+
+    def test_rejects_self_loop(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        with pytest.raises(ValueError):
+            GameState(graph, 1)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            GameState(nx.path_graph(2), 0)
+
+    def test_alpha_kept_exact(self):
+        state = GameState(nx.path_graph(2), "104.5")
+        assert state.alpha == Fraction(209, 2)
+
+    def test_tree_and_connectivity_flags(self):
+        assert GameState(nx.path_graph(4), 1).is_tree()
+        assert not GameState(nx.cycle_graph(4), 1).is_tree()
+        disconnected = nx.empty_graph(3)
+        disconnected.add_edge(0, 1)
+        assert not GameState(disconnected, 1).is_connected()
+
+    def test_non_edges(self):
+        state = GameState(nx.path_graph(3), 1)
+        assert list(state.non_edges()) == [(0, 2)]
+
+
+class TestCosts:
+    def test_star_center_cost(self):
+        state = GameState(nx.star_graph(3), 2)
+        # center: 3 edges * alpha + distance 3
+        assert state.cost(0) == 3 * 2 + 3
+        # leaf: 1 edge * alpha + 1 + 2 + 2
+        assert state.cost(1) == 2 + 5
+
+    def test_social_cost_decomposition(self):
+        state = GameState(nx.cycle_graph(5), 3)
+        total_dist = sum(state.dist_cost(u) for u in range(5))
+        assert state.social_cost() == 2 * 3 * 5 + total_dist
+
+    def test_disconnected_distance_uses_m(self):
+        graph = nx.empty_graph(3)
+        graph.add_edge(0, 1)
+        state = GameState(graph, 1)
+        assert state.dist_cost(0) == 1 + state.m_constant
+
+    @given(states())
+    @settings(max_examples=40, deadline=None)
+    def test_cost_matches_naive(self, state):
+        for u in range(state.n):
+            assert state.cost(u) == naive_cost(
+                state.graph, state.alpha, u, state.m_constant
+            )
+
+    @given(states())
+    @settings(max_examples=40, deadline=None)
+    def test_social_cost_is_sum_of_agent_costs(self, state):
+        assert state.social_cost() == sum(
+            state.cost(u) for u in range(state.n)
+        )
+
+    def test_max_agent_cost(self):
+        state = GameState(nx.star_graph(4), 10)
+        assert max_agent_cost(state) == state.cost(0)
+
+
+class TestCostComparisons:
+    def test_cost_strictly_less_exact_at_boundary(self):
+        # alpha=2: 1 edge + dist 5 = 7 vs 2 edges + dist 3 = 7 -> not less
+        assert not cost_strictly_less(1, 5, 2, 3, Fraction(2))
+        assert cost_strictly_less(1, 4, 2, 3, Fraction(2))
+
+    def test_fractional_alpha_boundary(self):
+        alpha = Fraction(9, 2)
+        # 1 edge more costs 4.5; a distance gain of 4 is not enough, 5 is
+        assert not cost_strictly_less(2, 6, 1, 10, alpha)
+        assert cost_strictly_less(2, 5, 1, 10, alpha)
+
+    def test_strictly_improves_via_graph(self):
+        state = GameState(nx.path_graph(4), 1)
+        closed = state.graph.copy()
+        closed.add_edge(0, 3)
+        assert strictly_improves(state, closed, 0)
+
+    def test_all_strictly_improve(self):
+        state = GameState(nx.path_graph(4), 1)
+        closed = state.graph.copy()
+        closed.add_edge(0, 3)
+        assert all_strictly_improve(state, closed, [0, 3])
+        assert not all_strictly_improve(state, closed, [0, 1])
+
+    def test_agent_cost_after(self):
+        state = GameState(nx.path_graph(3), 2)
+        mutated = state.graph.copy()
+        mutated.add_edge(0, 2)
+        assert agent_cost_after(state, mutated, 0) == 2 * 2 + 2
+
+
+class TestApplyMove:
+    def test_with_graph_keeps_alpha(self):
+        state = GameState(nx.path_graph(3), Fraction(7, 2))
+        other = state.with_graph(nx.star_graph(3))
+        assert other.alpha == Fraction(7, 2)
+        assert other.n == 4
