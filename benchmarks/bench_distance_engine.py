@@ -1,0 +1,139 @@
+"""Perf: incremental distance engine vs full APSP recomputation.
+
+Replays one random add/remove/swap trajectory per graph family and times
+(a) the incremental engine — one APSP build, then in-place ``apply_*``
+updates per move — against (b) the old regime of a fresh
+:func:`~repro.graphs.distances.apsp_matrix` after every move (what every
+dynamics round used to pay).  Results are asserted bit-identical, rendered
+as a table, and written to ``benchmarks/results/BENCH_distance_engine.json``
+so CI can track the perf trajectory.
+
+Set ``REPRO_BENCH_QUICK=1`` for the scaled-down CI sizes.
+"""
+
+import json
+import os
+import random
+import time
+
+import networkx as nx
+
+from repro.analysis.tables import render_table
+from repro.graphs.distances import DistanceMatrix, apsp_matrix
+from repro.graphs.generation import random_connected_gnp, random_tree
+
+from _harness import RESULTS_DIR, emit, once
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+UNREACHABLE = 10**7
+
+
+def _families():
+    n = 36 if QUICK else 90
+    moves = 30 if QUICK else 60
+    side = 6 if QUICK else 9
+    lattice = nx.convert_node_labels_to_integers(
+        nx.grid_2d_graph(side, side + 1)
+    )
+    return [
+        ("gnp", random_connected_gnp(n, 0.08, random.Random(11)), moves),
+        ("tree", random_tree(n, random.Random(13)), moves),
+        ("lattice", lattice, moves),
+    ]
+
+
+def _move_sequence(graph: nx.Graph, count: int, rng: random.Random):
+    """A reproducible list of ("add"|"remove", u, v) ops, applied eagerly."""
+    ops = []
+    work = graph.copy()
+    n = work.number_of_nodes()
+    while len(ops) < count:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        if work.has_edge(u, v):
+            if work.degree(u) <= 1 or work.degree(v) <= 1:
+                continue  # keep the trajectory from stranding singletons
+            work.remove_edge(u, v)
+            ops.append(("remove", u, v))
+        else:
+            work.add_edge(u, v)
+            ops.append(("add", u, v))
+    return ops
+
+
+def _run_incremental(graph, ops):
+    working = graph.copy()
+    start = time.perf_counter()
+    # the engine's one full build is part of the regime being timed
+    dm = DistanceMatrix(working, UNREACHABLE)
+    for op, u, v in ops:
+        if op == "add":
+            dm.apply_add(u, v)
+        else:
+            dm.apply_remove(u, v)
+    return time.perf_counter() - start, dm.matrix
+
+
+def _run_full(graph, ops):
+    working = graph.copy()
+    start = time.perf_counter()
+    matrix = None
+    for op, u, v in ops:
+        if op == "add":
+            working.add_edge(u, v)
+        else:
+            working.remove_edge(u, v)
+        matrix = apsp_matrix(working, UNREACHABLE)
+    return time.perf_counter() - start, matrix
+
+
+def study():
+    rows = []
+    payload = {}
+    for name, graph, moves in _families():
+        ops = _move_sequence(graph, moves, random.Random(17))
+        incremental_s, incremental_matrix = _run_incremental(graph, ops)
+        full_s, full_matrix = _run_full(graph, ops)
+        assert (incremental_matrix == full_matrix).all(), name
+        speedup = full_s / incremental_s if incremental_s > 0 else float("inf")
+        rows.append(
+            [
+                name,
+                graph.number_of_nodes(),
+                graph.number_of_edges(),
+                moves,
+                f"{incremental_s * 1e3:.1f}",
+                f"{full_s * 1e3:.1f}",
+                f"{speedup:.1f}x",
+            ]
+        )
+        payload[name] = {
+            "n": graph.number_of_nodes(),
+            "m": graph.number_of_edges(),
+            "moves": moves,
+            "incremental_seconds": incremental_s,
+            "full_rebuild_seconds": full_s,
+            "speedup": speedup,
+        }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_distance_engine.json").write_text(
+        json.dumps({"quick": QUICK, "families": payload}, indent=2) + "\n"
+    )
+    return rows, payload
+
+
+def test_distance_engine(benchmark):
+    rows, payload = once(benchmark, study)
+    emit(
+        "distance_engine",
+        render_table(
+            ["family", "n", "m", "moves", "incremental ms",
+             "full rebuild ms", "speedup"],
+            rows,
+            title="Incremental distance engine vs per-move APSP rebuild",
+        ),
+    )
+    for name, stats in payload.items():
+        # the engine must beat rebuilding APSP from scratch on every move
+        assert stats["speedup"] > 1, (name, stats)

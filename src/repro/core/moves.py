@@ -1,10 +1,13 @@
 """Move datatypes: the strategy changes the solution concepts quantify over.
 
-Every move knows how to ``apply`` itself to a graph (returning a new graph)
-and which agents must strictly benefit for the move to count as *improving*
-under its concept (``beneficiaries``).  Moves double as violation
-certificates: a checker that finds an instability returns the concrete move,
-and tests re-validate it by applying it and comparing exact costs.
+Every move knows how to ``apply`` itself to a graph (returning a new graph),
+which agents must strictly benefit for the move to count as *improving*
+under its concept (``beneficiaries``), and the ordered one-edge changes it
+consists of (``edge_deltas``) — the hook the incremental distance engine
+uses to update a cached APSP matrix instead of rebuilding it.  Moves double
+as violation certificates: a checker that finds an instability returns the
+concrete move, and tests re-validate it by applying it and comparing exact
+costs.
 """
 
 from __future__ import annotations
@@ -39,6 +42,8 @@ class Move(Protocol):
 
     def beneficiaries(self) -> Sequence[int]: ...
 
+    def edge_deltas(self) -> Sequence[tuple[str, int, int]]: ...
+
 
 @dataclass(frozen=True)
 class RemoveEdge:
@@ -54,6 +59,9 @@ class RemoveEdge:
 
     def beneficiaries(self) -> Sequence[int]:
         return (self.actor,)
+
+    def edge_deltas(self) -> Sequence[tuple[str, int, int]]:
+        return (("remove", self.actor, self.other),)
 
 
 @dataclass(frozen=True)
@@ -73,6 +81,9 @@ class AddEdge:
     def beneficiaries(self) -> Sequence[int]:
         return (self.u, self.v)
 
+    def edge_deltas(self) -> Sequence[tuple[str, int, int]]:
+        return (("add", self.u, self.v),)
+
 
 @dataclass(frozen=True)
 class Swap:
@@ -86,6 +97,13 @@ class Swap:
     old: int
     new: int
 
+    def __post_init__(self):
+        if self.new in (self.actor, self.old):
+            raise ValueError(
+                "the swap partner must differ from the actor and the "
+                "dropped neighbor"
+            )
+
     def apply(self, graph: nx.Graph) -> nx.Graph:
         if not graph.has_edge(self.actor, self.old):
             raise ValueError(f"edge {self.actor}-{self.old} not in graph")
@@ -98,6 +116,12 @@ class Swap:
 
     def beneficiaries(self) -> Sequence[int]:
         return (self.actor, self.new)
+
+    def edge_deltas(self) -> Sequence[tuple[str, int, int]]:
+        return (
+            ("remove", self.actor, self.old),
+            ("add", self.actor, self.new),
+        )
 
 
 @dataclass(frozen=True)
@@ -129,6 +153,11 @@ class NeighborhoodMove:
 
     def beneficiaries(self) -> Sequence[int]:
         return (self.center, *self.added)
+
+    def edge_deltas(self) -> Sequence[tuple[str, int, int]]:
+        return tuple(
+            ("remove", self.center, partner) for partner in self.removed
+        ) + tuple(("add", self.center, partner) for partner in self.added)
 
 
 @dataclass(frozen=True)
@@ -166,3 +195,8 @@ class CoalitionMove:
 
     def beneficiaries(self) -> Sequence[int]:
         return self.coalition
+
+    def edge_deltas(self) -> Sequence[tuple[str, int, int]]:
+        return tuple(("remove", u, v) for u, v in self.removed_edges) + tuple(
+            ("add", u, v) for u, v in self.added_edges
+        )

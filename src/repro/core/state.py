@@ -4,7 +4,10 @@ In equilibrium, BNCG strategy vectors and created graphs are in bijection
 (Section 1.1 of the paper), so a *state* is simply an undirected graph plus
 ``alpha``.  ``GameState`` freezes a copy of the graph, normalises ``alpha``
 to an exact :class:`~fractions.Fraction`, fixes the big constant ``M``, and
-lazily caches the all-pairs distance matrix every checker consumes.
+lazily caches the all-pairs distance matrix every checker consumes.  The
+cache is *transferred*, not recomputed, along :meth:`GameState.apply` chains:
+the incremental engine updates it in place for the successor state, so whole
+dynamics trajectories cost one APSP build total.
 """
 
 from __future__ import annotations
@@ -68,6 +71,13 @@ class GameState:
 
     @property
     def dist_matrix(self) -> np.ndarray:
+        """The live int64 APSP array of the cached engine.
+
+        This is a *view*, not a snapshot: :meth:`apply` hands the engine to
+        the successor state and updates the same array in place, so copy it
+        (``state.dist_matrix.copy()``) before applying a move if you need
+        the predecessor's distances afterwards.
+        """
         return self.dist.matrix
 
     def degree(self, u: int) -> int:
@@ -128,8 +138,49 @@ class GameState:
         return GameState(graph, self.alpha)
 
     def apply(self, move) -> "GameState":
-        """State after applying a :class:`repro.core.moves.Move`."""
-        return self.with_graph(move.apply(self.graph))
+        """State after applying a :class:`repro.core.moves.Move`.
+
+        If this state's distance matrix has already been materialised, it is
+        *handed off* to the successor: the successor gets its own graph copy,
+        the matrix is updated in place through the incremental engine
+        (``apply_add`` / ``apply_remove``), and this state drops its cache —
+        it rebuilds lazily if queried again.  A dynamics trajectory therefore
+        performs exactly one full APSP build no matter how many moves it
+        applies.  Consequence: arrays previously obtained from
+        :attr:`dist_matrix` are updated in place to the successor's
+        distances — copy them first if a pre-move snapshot is needed.
+        Moves without :meth:`~repro.core.moves.Move.edge_deltas` fall back
+        to a fresh state.
+        """
+        deltas = getattr(move, "edge_deltas", None)
+        if self._dist is None or deltas is None:
+            return self.with_graph(move.apply(self.graph))
+        dist = self._dist
+        self._dist = None  # hand off; rebuilt lazily if this state is reused
+        graph = self.graph.copy()
+        dist.rebind(graph)
+        for op, u, v in deltas():
+            if op == "add":
+                dist.apply_add(u, v)
+            elif op == "remove":
+                dist.apply_remove(u, v)
+            else:
+                raise ValueError(f"unknown edge delta {op!r}")
+        return self._successor(graph, dist)
+
+    def _successor(self, graph: nx.Graph, dist: DistanceMatrix) -> "GameState":
+        """Construct an apply-chained state around an already-updated engine.
+
+        The one place besides ``__init__`` that builds a ``GameState`` —
+        keep the two field lists in sync when adding cached attributes.
+        """
+        successor = GameState.__new__(GameState)
+        successor.graph = graph
+        successor.n = self.n
+        successor.alpha = self.alpha
+        successor.m_constant = self.m_constant
+        successor._dist = dist
+        return successor
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

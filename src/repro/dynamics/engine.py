@@ -6,6 +6,18 @@ and reports whether it stopped at an equilibrium, in a cycle, or at the
 round cap.  When it stops because no improving move exists, the final state
 *is* an equilibrium of the concept by construction — the tests double-check
 this against the exact checkers.
+
+Cost model: a trajectory performs **one** full APSP build total.  The first
+``social_cost`` call materialises the start state's distance matrix; every
+``state.apply(move)`` after that hands the matrix to the successor and
+updates it in place through the incremental engine (``apply_add`` outer
+minimum, ``apply_remove`` affected-rows repair — see
+:mod:`repro.graphs.distances`).  Move generators that need "what if this
+edge went away?" answers speculate on the same cached matrix and roll back
+via **undo tokens**: ``token = dm.apply_remove(u, v)`` … read the repaired
+matrix … ``dm.undo(token)``.  Tokens are strictly LIFO, and generators must
+close every token *before* yielding, so a scheduler that abandons a
+half-drained generator can never leave the shared matrix speculative.
 """
 
 from __future__ import annotations

@@ -31,20 +31,19 @@ from repro.core.state import GameState
 from repro.equilibria.add import pairwise_add_gains
 from repro.equilibria.neighborhood import find_improving_neighborhood_move
 from repro.equilibria.strong import probe_coalition_moves
-from repro.equilibria.swap import swap_gains
-from repro.graphs.distances import removed_edge_dist_vector
+from repro.equilibria.swap import viable_swap_partners
+from repro.graphs.distances import adjacency_bool
 from repro.graphs.trees import tree_split_masks
 
 __all__ = ["improving_moves", "move_generator_for"]
 
 
 def _improving_removals(state: GameState) -> Iterator[RemoveEdge]:
+    dm = state.dist
     for u, v in list(state.graph.edges):
-        for actor, other in ((u, v), (v, u)):
-            after = removed_edge_dist_vector(
-                state.graph, actor, other, state.m_constant
-            )
-            loss = int((after - state.dist.row(actor)).sum())
+        # both endpoints' losses from one batched BFS call
+        loss_u, loss_v = dm.remove_loss_pair(u, v)
+        for actor, other, loss in ((u, v, loss_u), (v, u, loss_v)):
             if loss < state.alpha:
                 yield RemoveEdge(actor=actor, other=other)
                 break  # the edge can only be removed once
@@ -84,15 +83,30 @@ def _improving_swaps_tree(state: GameState) -> Iterator[Swap]:
 
 
 def _improving_swaps_general(state: GameState) -> Iterator[Swap]:
+    """All improving swaps via speculative removal on the distance engine.
+
+    For each edge we apply the removal in place, read every candidate
+    partner's gains from the repaired matrix with the one-edge-add identity,
+    undo the removal, and only then yield — so an abandoned generator can
+    never leave the shared matrix in a speculative state.
+    """
+    dm = state.dist
+    totals = dm.totals()
     threshold = strict_gt_threshold(state.alpha)
+    adjacency = adjacency_bool(state.graph)
     for a, b in list(state.graph.edges):
-        for actor, old in ((a, b), (b, a)):
-            for new in range(state.n):
-                if new in (actor, old) or state.graph.has_edge(actor, new):
-                    continue
-                gain_actor, gain_new = swap_gains(state, actor, old, new)
-                if gain_actor >= 1 and gain_new >= threshold:
-                    yield Swap(actor=actor, old=old, new=new)
+        found: list[Swap] = []
+        token = dm.apply_remove(a, b)
+        try:
+            removed = dm.matrix
+            for actor, old in ((a, b), (b, a)):
+                for new in viable_swap_partners(
+                    removed, totals, adjacency, threshold, actor, old
+                ):
+                    found.append(Swap(actor=actor, old=old, new=int(new)))
+        finally:
+            dm.undo(token)
+        yield from found
 
 
 def _improving_swaps(state: GameState) -> Iterator[Swap]:

@@ -30,7 +30,11 @@ def removal_loss(state: GameState, actor: int, other: int) -> int:
 
 
 def find_improving_removal(state: GameState) -> RemoveEdge | None:
-    """First improving single-edge removal, or ``None`` (exact, O(m * m))."""
+    """First improving single-edge removal, or ``None`` (exact, O(m * m)).
+
+    Both endpoints' post-removal rows come from one batched BFS on the
+    state's cached CSR adjacency (the graph itself is never mutated).
+    """
     if state.is_tree():
         return None  # removing any tree edge disconnects: loss >= M > alpha
     bridges = set()
@@ -38,11 +42,13 @@ def find_improving_removal(state: GameState) -> RemoveEdge | None:
         for u, v in nx.bridges(state.graph):
             bridges.add((u, v))
             bridges.add((v, u))
+    dm = state.dist
     for u, v in state.graph.edges:
         if (u, v) in bridges:
             continue
-        for actor, other in ((u, v), (v, u)):
-            if removal_loss(state, actor, other) < state.alpha:
+        loss_u, loss_v = dm.remove_loss_pair(u, v)
+        for actor, other, loss in ((u, v, loss_u), (v, u, loss_v)):
+            if loss < state.alpha:
                 return RemoveEdge(actor=actor, other=other)
     return None
 

@@ -10,8 +10,10 @@ Two exact strategies:
 * **trees** — removing ``uv`` splits the node set; all post-swap distances
   are closed-form in the original APSP matrix and the split masks, giving an
   ``O(n^2)`` vectorised evaluation per edge (``O(n^3)`` total, no BFS);
-* **general graphs** — one APSP recomputation of ``G - uv`` per edge, then
-  the one-edge-add identity for every candidate ``w`` (``O(m * n * m)``).
+* **general graphs** — speculatively remove each edge on the state's cached
+  :class:`~repro.graphs.distances.DistanceMatrix` (affected-rows BFS repair,
+  undone via the token afterwards), then the one-edge-add identity for every
+  candidate ``w`` — no full APSP rebuilds anywhere.
 """
 
 from __future__ import annotations
@@ -21,14 +23,42 @@ import numpy as np
 from repro._alpha import strict_gt_threshold
 from repro.core.moves import Swap
 from repro.core.state import GameState
-from repro.graphs.distances import apsp_matrix
+from repro.graphs.distances import adjacency_bool
 from repro.graphs.trees import tree_split_masks
 
 __all__ = [
     "find_improving_swap",
     "is_bilateral_swap_equilibrium",
     "swap_gains",
+    "viable_swap_partners",
 ]
+
+
+def viable_swap_partners(
+    removed: np.ndarray,
+    totals: np.ndarray,
+    adjacency: np.ndarray,
+    threshold: int,
+    actor: int,
+    old: int,
+) -> np.ndarray:
+    """Partners ``w`` for which swap ``(actor, old -> w)`` is improving.
+
+    ``removed`` is the exact APSP matrix of ``G - {actor, old}``; gains come
+    from the one-edge-add identity.  Shared by the BSwE checker and the swap
+    move generator so the two can never disagree.  Ascending node order.
+    """
+    # actor's new distances with partner w:  min(rm[actor], 1 + rm[w])
+    actor_rows = np.minimum(removed[actor][None, :], 1 + removed)
+    gain_actor = int(totals[actor]) - actor_rows.sum(axis=1)
+    # partner w's new distances:             min(rm[w], 1 + rm[actor])
+    partner_rows = np.minimum(removed, (1 + removed[actor])[None, :])
+    gain_w = totals - partner_rows.sum(axis=1)
+    viable = (gain_actor >= 1) & (gain_w >= threshold)
+    viable[actor] = False
+    viable[old] = False
+    viable &= ~adjacency[actor]
+    return np.flatnonzero(viable)
 
 
 def swap_gains(state: GameState, actor: int, old: int, new: int) -> tuple[int, int]:
@@ -81,35 +111,24 @@ def _find_swap_tree(state: GameState) -> Swap | None:
 
 
 def _find_swap_general(state: GameState) -> Swap | None:
-    dist = state.dist_matrix
-    totals = dist.sum(axis=1)
+    dm = state.dist
+    totals = dm.totals()
     w_threshold = strict_gt_threshold(state.alpha)
-    n = state.n
     graph = state.graph
-    adjacency = np.zeros((n, n), dtype=bool)
-    for u, v in graph.edges:
-        adjacency[u, v] = True
-        adjacency[v, u] = True
+    adjacency = adjacency_bool(graph)
     for a, b in list(graph.edges):
-        graph.remove_edge(a, b)
-        removed = apsp_matrix(graph, state.m_constant)
-        graph.add_edge(a, b)
-        for actor, old in ((a, b), (b, a)):
-            # actor's new distances with partner w:  min(rm[actor], 1 + rm[w])
-            actor_rows = np.minimum(removed[actor][None, :], 1 + removed)
-            actor_new_totals = actor_rows.sum(axis=1)
-            gain_actor = int(totals[actor]) - actor_new_totals
-            # partner w's new distances:             min(rm[w], 1 + rm[actor])
-            partner_rows = np.minimum(removed, (1 + removed[actor])[None, :])
-            partner_new_totals = partner_rows.sum(axis=1)
-            gain_w = totals - partner_new_totals
-            viable = (gain_actor >= 1) & (gain_w >= w_threshold)
-            viable[actor] = False
-            viable[old] = False
-            viable &= ~adjacency[actor]
-            candidates = np.flatnonzero(viable)
-            if candidates.size:
-                return Swap(actor=actor, old=old, new=int(candidates[0]))
+        # speculative in-place removal on the cached engine, undone below
+        token = dm.apply_remove(a, b)
+        try:
+            removed = dm.matrix
+            for actor, old in ((a, b), (b, a)):
+                candidates = viable_swap_partners(
+                    removed, totals, adjacency, w_threshold, actor, old
+                )
+                if candidates.size:
+                    return Swap(actor=actor, old=old, new=int(candidates[0]))
+        finally:
+            dm.undo(token)
     return None
 
 

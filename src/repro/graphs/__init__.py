@@ -2,7 +2,10 @@
 
 from repro.graphs.distances import (
     DistanceMatrix,
+    UndoToken,
     added_edge_dist_gain,
+    adjacency_bool,
+    apsp_build_count,
     apsp_matrix,
     component_labels,
     dist_vector_after_add,
@@ -21,9 +24,12 @@ from repro.graphs.generation import (
 __all__ = [
     "DistanceMatrix",
     "RootedTree",
+    "UndoToken",
     "added_edge_dist_gain",
+    "adjacency_bool",
     "all_connected_graphs",
     "all_trees",
+    "apsp_build_count",
     "apsp_matrix",
     "component_labels",
     "dist_vector_after_add",

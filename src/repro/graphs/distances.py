@@ -1,34 +1,62 @@
-"""All-pairs shortest paths and incremental one-edge distance updates.
+"""All-pairs shortest paths and the incremental one/two-edge distance engine.
 
 Graphs are ``networkx.Graph`` objects whose nodes are ``0 .. n-1``.  Distances
 live in dense ``numpy`` ``int64`` matrices; pairs in different components hold
 the game's big constant ``M`` (see :mod:`repro._alpha`), never ``inf``, so all
-arithmetic stays integral and exact.
+arithmetic stays integral and exact.  Float results coming back from scipy are
+converted with an **exact integer fill**: finite hop counts (< ``2**53``) cast
+losslessly and the ``inf`` mask is overwritten with the exact Python integer
+sentinel afterwards, so even ``M > 2**53`` round-trips bit-exactly.
 
-The two identities that make polynomial equilibrium checks fast:
+The identities behind the engine:
 
-* adding edge ``uv``:  ``d'(u, x) = min(d(u, x), 1 + d(v, x))`` — a shortest
-  path uses a fresh edge at most once, and from ``u`` it must start with it;
-* removing edge ``uv``: no such shortcut in general graphs, so we re-run a
-  single BFS from the interesting endpoint (still ``O(m)``); on trees the
-  split into two components gives exact answers without any search
-  (see :mod:`repro.graphs.trees`).
+* adding edge ``uv``:  ``d'(x, y) = min(d(x, y), d(x, u) + 1 + d(v, y),
+  d(x, v) + 1 + d(u, y))`` — a shortest path uses a fresh edge at most once,
+  so the whole matrix updates with one vectorised outer minimum, no search;
+* removing edge ``uv``: only pairs whose *every* shortest path crossed ``uv``
+  can change, and any such pair has an endpoint whose distance to ``u`` or
+  ``v`` changed.  The repair therefore re-runs BFS from the **affected rows**
+  only (found with two probe BFS runs from ``u`` and ``v``), batched into a
+  single C-level call; on trees the split into two components gives exact
+  answers with no search at all (see :mod:`repro.graphs.trees`).
+
+:class:`DistanceMatrix` exposes these as in-place ``apply_add`` /
+``apply_remove`` / ``apply_swap`` mutators.  Each returns an
+:class:`UndoToken`; calling :meth:`DistanceMatrix.undo` restores the matrix,
+the graph, and the cached CSR adjacency bit-exactly.  Tokens are strictly
+LIFO (enforced by a version counter), which is exactly what schedulers need
+to speculatively evaluate a move and roll it back.  ``M`` must satisfy
+``fits_int64(M)`` so the add-update's ``M + 1 + M`` worst case cannot
+overflow ``int64``.
+
+Updates are **exact** in every case: additions by the outer-min identity,
+tree removals by the two-component formula, general removals by fresh BFS
+over the affected rows.  The only cost difference is that a general removal
+whose affected set is large degrades towards a full rebuild — it is never
+wrong, just slower.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 import networkx as nx
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import (
-    breadth_first_order,
     connected_components,
+    dijkstra,
     shortest_path,
 )
 
+from repro._alpha import fits_int64
+
 __all__ = [
     "DistanceMatrix",
+    "UndoToken",
+    "adjacency_bool",
     "adjacency_csr",
+    "apsp_build_count",
     "apsp_matrix",
     "added_edge_dist_gain",
     "component_labels",
@@ -38,6 +66,15 @@ __all__ = [
     "single_source_distances",
     "total_distances",
 ]
+
+#: Number of full APSP builds since import — a test/benchmark spy used to
+#: assert that a dynamics trajectory pays for exactly one build.
+APSP_BUILDS = 0
+
+
+def apsp_build_count() -> int:
+    """How many full APSP matrices have been built since import."""
+    return APSP_BUILDS
 
 
 def _require_canonical(graph: nx.Graph) -> int:
@@ -63,54 +100,84 @@ def canonical_labels(graph: nx.Graph) -> nx.Graph:
     return nx.relabel_nodes(graph, mapping, copy=True)
 
 
+def adjacency_bool(graph: nx.Graph) -> np.ndarray:
+    """Dense boolean adjacency matrix (shared by the swap searchers)."""
+    n = _require_canonical(graph)
+    dense = np.zeros((n, n), dtype=bool)
+    if graph.number_of_edges():
+        edges = np.asarray(graph.edges, dtype=np.int64)
+        dense[edges[:, 0], edges[:, 1]] = True
+        dense[edges[:, 1], edges[:, 0]] = True
+    return dense
+
+
 def adjacency_csr(graph: nx.Graph) -> csr_matrix:
-    """Symmetric 0/1 adjacency in CSR form for scipy's C-level BFS."""
+    """Symmetric 0/1 adjacency in CSR form for scipy's C-level BFS.
+
+    The coordinate arrays are built in one shot from the edge array rather
+    than edge-by-edge in Python.
+    """
     n = _require_canonical(graph)
     m = graph.number_of_edges()
-    rows = np.empty(2 * m, dtype=np.int64)
-    cols = np.empty(2 * m, dtype=np.int64)
-    for index, (u, v) in enumerate(graph.edges):
-        rows[2 * index] = u
-        cols[2 * index] = v
-        rows[2 * index + 1] = v
-        cols[2 * index + 1] = u
+    if m == 0:
+        return csr_matrix((n, n), dtype=np.int8)
+    edges = np.asarray(graph.edges, dtype=np.int64)
+    rows = np.concatenate([edges[:, 0], edges[:, 1]])
+    cols = np.concatenate([edges[:, 1], edges[:, 0]])
     data = np.ones(2 * m, dtype=np.int8)
     return csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def _exact_int_fill(raw: np.ndarray, unreachable: int) -> np.ndarray:
+    """Convert scipy's float distances to int64 with an exact sentinel.
+
+    Finite unweighted distances are below ``2**53``, so the float cast is
+    lossless; the ``inf`` mask is then overwritten with the exact Python
+    integer (numpy raises ``OverflowError`` if it does not fit ``int64``),
+    so big-M sentinels never round-trip through float64.
+    """
+    mask = np.isinf(raw)
+    dist = np.where(mask, 0.0, raw).astype(np.int64)
+    if mask.any():
+        dist[mask] = unreachable
+    return dist
 
 
 def apsp_matrix(graph: nx.Graph, unreachable: int) -> np.ndarray:
     """Dense all-pairs shortest path matrix with ``unreachable`` for no path.
 
-    Runs one BFS per node in C via scipy; ``O(n * m)`` total.
+    Runs one BFS per node in C via scipy; ``O(n * m)`` total.  Increments
+    the module's :data:`APSP_BUILDS` spy counter.
     """
+    global APSP_BUILDS
+    APSP_BUILDS += 1
     n = _require_canonical(graph)
     if graph.number_of_edges() == 0:
         dist = np.full((n, n), unreachable, dtype=np.int64)
         np.fill_diagonal(dist, 0)
         return dist
     raw = shortest_path(adjacency_csr(graph), method="D", unweighted=True)
-    dist = np.where(np.isinf(raw), float(unreachable), raw)
-    return dist.astype(np.int64)
+    return _exact_int_fill(raw, unreachable)
+
+
+def _rows_from_csr(
+    adjacency: csr_matrix, sources, unreachable: int
+) -> np.ndarray:
+    """BFS distance rows for several sources in one C-level call."""
+    raw = dijkstra(adjacency, unweighted=True, indices=sources)
+    return _exact_int_fill(raw, unreachable)
 
 
 def single_source_distances(
     graph: nx.Graph, source: int, unreachable: int
 ) -> np.ndarray:
-    """BFS distances from ``source`` as an int64 vector."""
+    """BFS distances from ``source`` as an int64 vector (no Python loop)."""
     n = _require_canonical(graph)
-    dist = np.full(n, unreachable, dtype=np.int64)
-    dist[source] = 0
     if graph.degree(source) == 0:
+        dist = np.full(n, unreachable, dtype=np.int64)
+        dist[source] = 0
         return dist
-    adjacency = adjacency_csr(graph)
-    order, predecessors = breadth_first_order(
-        adjacency, source, directed=False, return_predecessors=True
-    )
-    for node in order:
-        if node == source:
-            continue
-        dist[node] = dist[predecessors[node]] + 1
-    return dist
+    return _rows_from_csr(adjacency_csr(graph), source, unreachable)
 
 
 def is_connected(graph: nx.Graph) -> bool:
@@ -167,19 +234,69 @@ def removed_edge_dist_vector(
         graph.add_edge(u, v)
 
 
-class DistanceMatrix:
-    """Cached APSP for one graph snapshot, with incremental query helpers.
+@dataclass(frozen=True)
+class _RowPatch:
+    """Old values of a set of matrix rows (columns follow by symmetry)."""
 
-    This is the workhorse behind all polynomial equilibrium checkers.  The
-    matrix is computed once; one-edge *additions* are answered from the
-    matrix alone, one-edge *removals* trigger a single BFS.
+    rows: np.ndarray
+    old: np.ndarray
+
+
+@dataclass(frozen=True)
+class UndoToken:
+    """Everything needed to roll one ``apply_*`` mutation back.
+
+    Tokens are LIFO: :meth:`DistanceMatrix.undo` checks the engine's version
+    counter and refuses out-of-order undos.
+    """
+
+    patches: tuple[_RowPatch, ...]
+    inverse_ops: tuple[tuple[str, int, int], ...]
+    csr_before: csr_matrix | None
+    version_before: int
+    version_after: int
+
+
+class DistanceMatrix:
+    """Cached APSP for one graph, with exact in-place one-edge updates.
+
+    This is the workhorse behind all polynomial equilibrium checkers and the
+    dynamics engine.  The matrix is computed once; after that
+
+    * :meth:`apply_add` updates the whole matrix with a vectorised outer
+      minimum (exact, no search);
+    * :meth:`apply_remove` repairs only the affected rows with batched BFS
+      (exact; trees use the two-component formula, no search);
+    * :meth:`apply_swap` composes the two;
+    * :meth:`undo` rolls any of them back bit-exactly (LIFO order).
+
+    Speculative *queries* that never touch the matrix are also provided:
+    ``row_after_add`` (from the matrix alone) and ``rows_after_remove``
+    (BFS on a temporary CSR with the edge masked out; the cached CSR is
+    reused, not rebuilt from the graph).
+
+    ``unreachable`` must be at least ``n`` (so it exceeds every real
+    distance) and satisfy ``fits_int64`` (headroom for ``2M + 1`` in the
+    add update).
     """
 
     def __init__(self, graph: nx.Graph, unreachable: int):
         self.n = _require_canonical(graph)
         self.unreachable = int(unreachable)
+        if self.unreachable < self.n:
+            raise ValueError(
+                "unreachable sentinel must be >= n to exceed real distances"
+            )
+        if not fits_int64(self.unreachable):
+            raise ValueError(
+                "unreachable sentinel too large for exact int64 arithmetic"
+            )
         self._graph = graph
+        self._csr: csr_matrix | None = None
+        self._version = 0
         self.matrix = apsp_matrix(graph, self.unreachable)
+
+    # -- plain queries ------------------------------------------------------
 
     def dist(self, u: int, v: int) -> int:
         return int(self.matrix[u, v])
@@ -199,6 +316,8 @@ class DistanceMatrix:
     def diameter(self) -> int:
         return int(self.matrix.max())
 
+    # -- speculative queries (matrix untouched) -----------------------------
+
     def add_gain(self, u: int, v: int) -> int:
         """Distance-cost gain for ``u`` when edge ``uv`` is added."""
         return added_edge_dist_gain(self.matrix, u, v)
@@ -206,10 +325,206 @@ class DistanceMatrix:
     def row_after_add(self, u: int, v: int) -> np.ndarray:
         return dist_vector_after_add(self.matrix, u, v)
 
+    def rows_after_remove(self, u: int, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Rows of ``u`` and ``v`` in ``G - uv`` (one batched BFS call).
+
+        Works on a temporary CSR with the edge masked out; neither the
+        matrix nor the graph is touched.
+        """
+        if not self._graph.has_edge(u, v):
+            raise ValueError(f"edge {u}-{v} not in graph")
+        rows = _rows_from_csr(
+            self._csr_without(u, v), [u, v], self.unreachable
+        )
+        return rows[0], rows[1]
+
     def row_after_remove(self, u: int, v: int) -> np.ndarray:
-        return removed_edge_dist_vector(self._graph, u, v, self.unreachable)
+        """Distances from ``u`` after removing edge ``uv`` (one BFS)."""
+        if not self._graph.has_edge(u, v):
+            raise ValueError(f"edge {u}-{v} not in graph")
+        return _rows_from_csr(self._csr_without(u, v), u, self.unreachable)
 
     def remove_loss(self, u: int, v: int) -> int:
         """Distance-cost increase for ``u`` when edge ``uv`` is removed."""
         after = self.row_after_remove(u, v)
         return int((after - self.matrix[u]).sum())
+
+    def remove_loss_pair(self, u: int, v: int) -> tuple[int, int]:
+        """Distance-cost increases of both endpoints when ``uv`` is removed.
+
+        One temporary CSR, one batched BFS — the shared evaluation behind
+        the RE checker and the removal move generator.
+        """
+        row_u, row_v = self.rows_after_remove(u, v)
+        return (
+            int((row_u - self.matrix[u]).sum()),
+            int((row_v - self.matrix[v]).sum()),
+        )
+
+    # -- cached CSR adjacency ----------------------------------------------
+
+    @property
+    def csr(self) -> csr_matrix:
+        """CSR adjacency of the current graph (cached across queries)."""
+        if self._csr is None:
+            self._csr = adjacency_csr(self._graph)
+        return self._csr
+
+    def _edge_csr(self, u: int, v: int) -> csr_matrix:
+        data = np.ones(2, dtype=np.int8)
+        return csr_matrix(
+            (data, ([u, v], [v, u])), shape=(self.n, self.n)
+        )
+
+    def _csr_without(self, u: int, v: int) -> csr_matrix:
+        masked = self.csr - self._edge_csr(u, v)
+        masked.eliminate_zeros()
+        return masked
+
+    # -- in-place updates ---------------------------------------------------
+
+    def rebind(self, graph: nx.Graph) -> None:
+        """Transfer the engine onto an equal copy of its graph.
+
+        Used by :meth:`repro.core.state.GameState.apply` to hand the matrix
+        to a successor state that owns a fresh graph copy, so in-place
+        updates never mutate the predecessor's graph.
+        """
+        if (
+            graph.number_of_nodes() != self.n
+            or graph.number_of_edges() != self._graph.number_of_edges()
+        ):
+            raise ValueError("rebind target must be an equal copy")
+        self._graph = graph
+
+    def apply_add(self, u: int, v: int) -> UndoToken:
+        """Add edge ``uv`` and update the whole matrix in place (exact).
+
+        ``d'(x, y) = min(d(x, y), d(x, u) + 1 + d(v, y),
+        d(x, v) + 1 + d(u, y))``; disconnected legs carry the ``M``
+        sentinel, making every through-candidate exceed ``M``, so sentinel
+        entries survive exactly.  Returns an undo token.
+        """
+        if u == v:
+            raise ValueError("self-loops are not valid edges")
+        if self._graph.has_edge(u, v):
+            raise ValueError(f"edge {u}-{v} already exists")
+        matrix = self.matrix
+        via = matrix[u][:, None] + (matrix[v][None, :] + 1)
+        candidate = np.minimum(via, via.T)
+        changed_rows = np.flatnonzero((candidate < matrix).any(axis=1))
+        patches = ()
+        if changed_rows.size:
+            patches = (
+                _RowPatch(rows=changed_rows, old=matrix[changed_rows].copy()),
+            )
+            np.minimum(matrix, candidate, out=matrix)
+        csr_before = self._csr
+        if self._csr is not None:
+            self._csr = self._csr + self._edge_csr(u, v)
+        self._graph.add_edge(u, v)
+        return self._finish(patches, (("remove", u, v),), csr_before)
+
+    def apply_remove(self, u: int, v: int) -> UndoToken:
+        """Remove edge ``uv`` and repair the matrix in place (exact).
+
+        If the current graph is a tree, the deletion splits it into the two
+        components of :func:`repro.graphs.trees.tree_split_masks` and every
+        cross pair becomes ``unreachable`` — no search.  Otherwise two probe
+        BFS runs from ``u`` and ``v`` identify the affected rows (every
+        changed pair has an endpoint among them) and one batched BFS call
+        recomputes exactly those rows.  Returns an undo token.
+        """
+        from repro.graphs.trees import tree_split_masks
+
+        if not self._graph.has_edge(u, v):
+            raise ValueError(f"edge {u}-{v} not in graph")
+        matrix = self.matrix
+        csr_before = self._csr
+        is_tree = (
+            self._graph.number_of_edges() == self.n - 1
+            and int(matrix[u].max()) < self.unreachable
+        )
+        if is_tree:
+            side_u, side_v = tree_split_masks(self._graph, u, v, self.n)
+            # every changed entry is a cross pair, so the smaller side's
+            # rows (restored as rows *and* columns) cover all of them
+            small = side_u if side_u.sum() <= side_v.sum() else side_v
+            small_rows = np.flatnonzero(small)
+            patches = (
+                _RowPatch(rows=small_rows, old=matrix[small_rows].copy()),
+            )
+            matrix[np.ix_(side_u, side_v)] = self.unreachable
+            matrix[np.ix_(side_v, side_u)] = self.unreachable
+            self._graph.remove_edge(u, v)
+            self._csr = None
+            return self._finish(patches, (("add", u, v),), csr_before)
+        masked = self._csr_without(u, v)
+        self._graph.remove_edge(u, v)
+        self._csr = masked
+        probes = _rows_from_csr(masked, [u, v], self.unreachable)
+        affected = np.flatnonzero(
+            (probes[0] != matrix[u]) | (probes[1] != matrix[v])
+        )
+        patches = ()
+        if affected.size:
+            patches = (
+                _RowPatch(rows=affected, old=matrix[affected].copy()),
+            )
+            # u and v are always affected (their mutual distance grew) and
+            # their repaired rows are the probes — BFS only the rest
+            rest = affected[(affected != u) & (affected != v)]
+            if rest.size:
+                repaired = _rows_from_csr(masked, rest, self.unreachable)
+                matrix[rest, :] = repaired
+                matrix[:, rest] = repaired.T
+            for node, probe in ((u, probes[0]), (v, probes[1])):
+                matrix[node, :] = probe
+                matrix[:, node] = probe
+        return self._finish(patches, (("add", u, v),), csr_before)
+
+    def apply_swap(self, actor: int, old: int, new: int) -> UndoToken:
+        """Replace edge ``actor-old`` by ``actor-new`` (one undo token)."""
+        removal = self.apply_remove(actor, old)
+        try:
+            addition = self.apply_add(actor, new)
+        except Exception:
+            self.undo(removal)
+            raise
+        return UndoToken(
+            patches=removal.patches + addition.patches,
+            inverse_ops=addition.inverse_ops + removal.inverse_ops,
+            csr_before=removal.csr_before,
+            version_before=removal.version_before,
+            version_after=addition.version_after,
+        )
+
+    def _finish(self, patches, inverse_ops, csr_before) -> UndoToken:
+        token = UndoToken(
+            patches=tuple(patches),
+            inverse_ops=tuple(inverse_ops),
+            csr_before=csr_before,
+            version_before=self._version,
+            version_after=self._version + 1,
+        )
+        self._version += 1
+        return token
+
+    def undo(self, token: UndoToken) -> None:
+        """Roll back one ``apply_*`` token (strictly LIFO)."""
+        if token.version_after != self._version:
+            raise RuntimeError(
+                "undo tokens must be applied in LIFO order "
+                f"(engine at version {self._version}, "
+                f"token for {token.version_after})"
+            )
+        for patch in reversed(token.patches):
+            self.matrix[patch.rows, :] = patch.old
+            self.matrix[:, patch.rows] = patch.old.T
+        for op, u, v in token.inverse_ops:
+            if op == "add":
+                self._graph.add_edge(u, v)
+            else:
+                self._graph.remove_edge(u, v)
+        self._csr = token.csr_before
+        self._version = token.version_before

@@ -80,6 +80,24 @@ class TestApspMatrix:
             via_k = dist[:, k][:, None] + dist[k][None, :]
             assert (dist <= via_k).all()
 
+    def test_big_m_sentinel_survives_exactly(self):
+        """Regression: sentinels above 2**53 must not round-trip through
+        float64 (float(2**53 + 1) == 2**53 would corrupt the big constant)."""
+        sentinel = 2**53 + 1
+        assert int(float(sentinel)) != sentinel  # the trap being guarded
+        graph = nx.empty_graph(3)
+        graph.add_edge(0, 1)
+        dist = apsp_matrix(graph, sentinel)
+        assert dist[0, 2] == sentinel
+        assert dist[2, 1] == sentinel
+        assert dist[0, 1] == 1
+
+    def test_big_m_sentinel_near_int64_boundary(self):
+        sentinel = 2**62 - 3  # largest class of sentinels callers may use
+        graph = nx.empty_graph(2)
+        dist = apsp_matrix(graph, sentinel)
+        assert dist[0, 1] == sentinel
+
 
 class TestSingleSource:
     @given(connected_graphs())
@@ -96,6 +114,41 @@ class TestSingleSource:
         row = single_source_distances(graph, 0, UNREACHABLE)
         assert row[0] == 0
         assert row[1] == UNREACHABLE
+
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx_single_source(self, graph):
+        """Cross-check the vectorised BFS against networkx levels."""
+        for source in range(graph.number_of_nodes()):
+            row = single_source_distances(graph, source, UNREACHABLE)
+            expected = nx.single_source_shortest_path_length(graph, source)
+            for node in graph:
+                assert row[node] == expected.get(node, UNREACHABLE)
+
+    def test_big_sentinel_exact(self):
+        graph = nx.empty_graph(3)
+        graph.add_edge(0, 1)
+        sentinel = 2**53 + 1
+        row = single_source_distances(graph, 0, sentinel)
+        assert row[2] == sentinel
+
+
+class TestAdjacencyCsr:
+    @given(connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx_adjacency(self, graph):
+        from repro.graphs.distances import adjacency_csr
+
+        ours = adjacency_csr(graph).toarray()
+        expected = nx.to_numpy_array(graph, nodelist=range(len(graph)))
+        assert (ours == expected).all()
+
+    def test_edgeless(self):
+        from repro.graphs.distances import adjacency_csr
+
+        csr = adjacency_csr(nx.empty_graph(4))
+        assert csr.shape == (4, 4)
+        assert csr.nnz == 0
 
 
 class TestIncrementalAdd:
