@@ -83,10 +83,11 @@ def main(n: int = 24, alpha: int = 12, seed: int = 7) -> None:
         "reports that instead of looping forever."
     )
 
-    # Would a small consortium renegotiate the outcome?
+    # Would a small consortium renegotiate the outcome?  The probe takes
+    # the integer seed directly, so the verdict is reproducible end-to-end.
     final = finals["handshakes + rewiring (BGE)"]
     coalition = probe_coalition_moves(
-        final, random.Random(seed), max_coalition_size=3, samples=4000
+        final, seed, max_coalition_size=3, samples=4000
     )
     if coalition is None:
         print(

@@ -1,0 +1,39 @@
+"""Seedable randomness plumbing for the probe-based refuters.
+
+Every randomized entry point (``probe_neighborhood_moves``,
+``probe_coalition_moves``, ``diagnose``, the BSE move generator, the
+examples) accepts either a ready ``random.Random``, an integer seed, or
+``None``; :func:`coerce_rng` normalises all three so probe verdicts are
+reproducible end-to-end from a single seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+__all__ = ["RngLike", "coerce_rng"]
+
+#: A ``random.Random``, an integer seed, or ``None`` (default seed 0).
+RngLike = Union[random.Random, int, None]
+
+DEFAULT_SEED = 0
+
+
+def coerce_rng(rng: RngLike, default_seed: int = DEFAULT_SEED) -> random.Random:
+    """Normalise an rng-or-seed argument to a ``random.Random``.
+
+    ``None`` yields a generator seeded with ``default_seed`` so unseeded
+    calls are still deterministic and reproducible.
+    """
+    if isinstance(rng, random.Random):
+        return rng
+    if rng is None:
+        return random.Random(default_seed)
+    if isinstance(rng, bool):
+        raise TypeError("rng must be a random.Random, an int seed, or None")
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(
+        f"cannot interpret {rng!r} as a random.Random or integer seed"
+    )

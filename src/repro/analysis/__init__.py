@@ -28,6 +28,7 @@ from repro.analysis.poa import (
 )
 from repro.analysis.search import (
     NashWitness,
+    classify_full_ladder,
     classify_re_bae_bswe,
     search_nash_not_pairwise_stable,
     search_venn_witnesses,
@@ -50,6 +51,7 @@ __all__ = [
     "bse_low_alpha_bound",
     "bse_upper_bound_via_dary_tree",
     "bswe_tree_upper_bound",
+    "classify_full_ladder",
     "classify_re_bae_bswe",
     "dary_tree_cost_bound",
     "empirical_poa",

@@ -11,7 +11,11 @@ graphs matter less than their existence:
 
 Both are re-derived here by exhaustive search over the connected graph
 atlas; the frozen results live in :mod:`repro.constructions.figures` and
-:mod:`repro.constructions.venn` with tests re-verifying them.
+:mod:`repro.constructions.venn` with tests re-verifying them.  All
+stability verdicts consumed here come from the engine-backed checkers
+(speculative-kernel evaluation); :func:`classify_full_ladder` extends the
+polynomial triple to the whole cooperation ladder with seeded,
+reproducible probe fallbacks for the exponential concepts.
 """
 
 from __future__ import annotations
@@ -24,11 +28,15 @@ from typing import Iterable, Sequence
 import networkx as nx
 
 from repro._alpha import AlphaLike
+from repro._rng import RngLike
+from repro.core.concepts import Concept
 from repro.core.state import GameState
 from repro.equilibria.add import (
     is_bilateral_add_equilibrium,
     is_unilateral_add_equilibrium,
 )
+from repro.equilibria.certificates import StabilityReport
+from repro.equilibria.diagnose import diagnose
 from repro.equilibria.nash import EdgeAssignment, is_nash_equilibrium
 from repro.equilibria.remove import is_remove_equilibrium, removal_loss
 from repro.equilibria.swap import is_bilateral_swap_equilibrium
@@ -36,6 +44,7 @@ from repro.graphs.generation import all_connected_graphs
 
 __all__ = [
     "NashWitness",
+    "classify_full_ladder",
     "classify_re_bae_bswe",
     "search_nash_not_pairwise_stable",
     "search_venn_witnesses",
@@ -126,6 +135,28 @@ def classify_re_bae_bswe(state: GameState) -> tuple[bool, bool, bool]:
         is_remove_equilibrium(state),
         is_bilateral_add_equilibrium(state),
         is_bilateral_swap_equilibrium(state),
+    )
+
+
+def classify_full_ladder(
+    state: GameState,
+    max_coalition_size: int = 3,
+    seed: RngLike = 0,
+    probe_samples: int = 2000,
+) -> dict[Concept, StabilityReport]:
+    """Stability report across the whole cooperation ladder.
+
+    Polynomial concepts are exact; BNE and k-BSE degrade to *seeded*
+    randomized probing when out of budget, so a witness-hunt over many
+    instances is reproducible from ``seed`` alone (pass an integer seed
+    or a ready ``random.Random``).  Reports with ``exhaustive=False``
+    mark probe-based verdicts.
+    """
+    return diagnose(
+        state,
+        max_coalition_size=max_coalition_size,
+        seed=seed,
+        probe_samples=probe_samples,
     )
 
 

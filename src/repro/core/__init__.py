@@ -21,6 +21,11 @@ from repro.core.moves import (
     Swap,
 )
 from repro.core.concepts import Concept
+from repro.core.speculative import (
+    MoveEvaluation,
+    SpeculativeEvaluator,
+    evaluation_count,
+)
 
 __all__ = [
     "AddEdge",
@@ -28,12 +33,15 @@ __all__ = [
     "Concept",
     "GameState",
     "Move",
+    "MoveEvaluation",
     "NeighborhoodMove",
     "RemoveEdge",
+    "SpeculativeEvaluator",
     "Swap",
     "agent_cost",
     "agent_cost_after",
     "cost_strictly_less",
+    "evaluation_count",
     "optimum_cost",
     "optimum_graph",
     "social_cost",

@@ -12,11 +12,12 @@ Cost model: a trajectory performs **one** full APSP build total.  The first
 ``state.apply(move)`` after that hands the matrix to the successor and
 updates it in place through the incremental engine (``apply_add`` outer
 minimum, ``apply_remove`` affected-rows repair — see
-:mod:`repro.graphs.distances`).  Move generators that need "what if this
-edge went away?" answers speculate on the same cached matrix and roll back
-via **undo tokens**: ``token = dm.apply_remove(u, v)`` … read the repaired
-matrix … ``dm.undo(token)``.  Tokens are strictly LIFO, and generators must
-close every token *before* yielding, so a scheduler that abandons a
+:mod:`repro.graphs.distances`).  Move generators, schedulers and checkers
+that need "what if?" answers speculate on the same cached matrix through
+the :class:`~repro.core.speculative.SpeculativeEvaluator` kernel (or raw
+**undo tokens**: ``token = dm.apply_remove(u, v)`` … read the repaired
+matrix … ``dm.undo(token)``).  Tokens are strictly LIFO, and generators
+must close every token *before* yielding, so a scheduler that abandons a
 half-drained generator can never leave the shared matrix speculative.
 """
 

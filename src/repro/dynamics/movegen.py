@@ -12,9 +12,16 @@ The move spaces mirror the concept definitions:
 * ``PS``   — removals + additions;
 * ``BSWE`` — swaps only;
 * ``BGE``  — removals + additions + swaps;
-* ``BNE``  — bounded neighborhood moves (exhaustive within small budgets);
+* ``BNE``  — bounded neighborhood moves (exhaustive within small budgets,
+  degrading to seeded probing when the pruned space is still too large);
 * ``BSE``  — bounded coalition moves (via :func:`probe_coalition_moves`
   sampling, since exhaustive generation is exponential).
+
+All candidate evaluation — here and in the searchers this module calls —
+runs on the speculative kernel
+(:class:`~repro.core.speculative.SpeculativeEvaluator`): moves are applied
+to the state's cached distance engine and rolled back via LIFO undo
+tokens, so a trajectory never pays a full APSP rebuild per candidate.
 """
 
 from __future__ import annotations
@@ -25,11 +32,16 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro._alpha import strict_gt_threshold
+from repro._rng import coerce_rng
 from repro.core.concepts import Concept
 from repro.core.moves import AddEdge, Move, RemoveEdge, Swap
 from repro.core.state import GameState
 from repro.equilibria.add import pairwise_add_gains
-from repro.equilibria.neighborhood import find_improving_neighborhood_move
+from repro.equilibria.neighborhood import (
+    SearchBudgetExceeded,
+    find_improving_neighborhood_move,
+    probe_neighborhood_moves,
+)
 from repro.equilibria.strong import probe_coalition_moves
 from repro.equilibria.swap import viable_swap_partners
 from repro.graphs.distances import adjacency_bool
@@ -117,15 +129,19 @@ def _improving_swaps(state: GameState) -> Iterator[Swap]:
 
 
 def _improving_neighborhood(state: GameState, rng: random.Random | None):
-    move = find_improving_neighborhood_move(state, max_evaluations=200_000)
+    try:
+        move = find_improving_neighborhood_move(state, max_evaluations=200_000)
+    except SearchBudgetExceeded:
+        # out-of-budget instances degrade to seeded probing (certified
+        # moves only; a None simply yields nothing this round)
+        move = probe_neighborhood_moves(state, coerce_rng(rng), samples=500)
     if move is not None:
         yield move
 
 
 def _improving_coalitions(state: GameState, rng: random.Random | None):
-    generator = rng if rng is not None else random.Random(0)
     move = probe_coalition_moves(
-        state, generator, max_coalition_size=min(state.n, 4), samples=500
+        state, coerce_rng(rng), max_coalition_size=min(state.n, 4), samples=500
     )
     if move is not None:
         yield move

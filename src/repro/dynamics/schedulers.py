@@ -11,8 +11,8 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterator, Optional
 
-from repro.core.costs import agent_cost_after
 from repro.core.moves import Move
+from repro.core.speculative import SpeculativeEvaluator
 from repro.core.state import GameState
 
 __all__ = [
@@ -45,16 +45,14 @@ def random_improvement_scheduler(
 def best_improvement_scheduler(
     state: GameState, moves: Iterator[Move], rng: random.Random
 ) -> Move | None:
-    """The move with the largest total cost drop over its beneficiaries."""
-    best_move: Move | None = None
-    best_drop = None
-    for move in moves:
-        graph_after = move.apply(state.graph)
-        drop = sum(
-            state.cost(agent) - agent_cost_after(state, graph_after, agent)
-            for agent in move.beneficiaries()
-        )
-        if best_drop is None or drop > best_drop:
-            best_move = move
-            best_drop = drop
-    return best_move
+    """The move with the largest total cost drop over its beneficiaries.
+
+    Candidates are batch-evaluated on the speculative kernel (applied to
+    the cached distance engine, measured, and undone) instead of paying a
+    graph copy plus one BFS per beneficiary per candidate.
+    """
+    spec = SpeculativeEvaluator(state)
+    chosen = spec.best(moves)
+    if chosen is None:
+        return None
+    return chosen[0]

@@ -64,12 +64,23 @@ def _candidate_pairs(state: GameState, threshold: int):
 
 
 def find_improving_bilateral_add(state: GameState) -> AddEdge | None:
-    """First mutually improving edge addition, or ``None`` (exact)."""
+    """First mutually improving edge addition, or ``None`` (exact).
+
+    The vectorised gain matrix (an engine-row query) prunes to the exact
+    candidate set; the returned certificate is confirmed through the
+    speculative kernel so every concept shares one evaluation path.
+    """
+    from repro.core.speculative import SpeculativeEvaluator
+
     threshold = strict_gt_threshold(state.alpha)
     _, candidates = _candidate_pairs(state, threshold)
+    if not candidates:
+        return None
+    spec = SpeculativeEvaluator(state)
     for u, v in candidates:
-        if not state.graph.has_edge(u, v):
-            return AddEdge(u, v)
+        move = AddEdge(u, v)
+        if spec.move_improves(move):
+            return move
     return None
 
 
@@ -79,14 +90,29 @@ def is_bilateral_add_equilibrium(state: GameState) -> bool:
 
 
 def find_improving_unilateral_add(state: GameState) -> AddEdge | None:
-    """First unilaterally improving addition (only the buyer pays)."""
+    """First unilaterally improving addition (only the buyer pays).
+
+    A buyer ``u`` improves iff her distance gain strictly exceeds
+    ``alpha`` — exactly the kernel's single-agent verdict (her degree
+    grows by one, the partner is not asked), used here to confirm the
+    vectorised candidates.
+    """
+    from repro.core.speculative import SpeculativeEvaluator
+
     threshold = strict_gt_threshold(state.alpha)
     gains = pairwise_add_gains(state)
     either = (gains >= threshold) | (gains.T >= threshold)
-    for u, v in np.argwhere(np.triu(either, k=1)):
+    candidates = np.argwhere(np.triu(either, k=1))
+    if not candidates.size:
+        return None
+    spec = SpeculativeEvaluator(state)
+    for u, v in candidates:
         u, v = int(u), int(v)
-        if not state.graph.has_edge(u, v):
-            return AddEdge(u, v)
+        move = AddEdge(u, v)
+        if spec.move_improves(move, agents=(u,)) or spec.move_improves(
+            move, agents=(v,)
+        ):
+            return move
     return None
 
 

@@ -21,8 +21,8 @@ from typing import Iterable
 
 from repro._alpha import AlphaLike, as_alpha
 from repro.core.concepts import Concept
-from repro.core.costs import agent_cost_after
 from repro.core.moves import Move
+from repro.core.speculative import SpeculativeEvaluator
 from repro.core.state import GameState
 from repro.dynamics.movegen import improving_moves
 
@@ -33,25 +33,30 @@ __all__ = [
 ]
 
 
+def _improvement_factor(spec: SpeculativeEvaluator, move: Move) -> Fraction:
+    """Smallest beneficiary ``before / after`` ratio via the kernel."""
+    factor: Fraction | None = None
+    with spec.speculate(move):
+        for agent in move.beneficiaries():
+            before = spec.base_cost(agent)
+            after = before + spec.cost_delta(agent)
+            if after <= 0:
+                raise ValueError("costs must stay positive")
+            ratio = Fraction(before) / Fraction(after)
+            if factor is None or ratio < factor:
+                factor = ratio
+    assert factor is not None
+    return factor
+
+
 def move_improvement_factor(state: GameState, move: Move) -> Fraction:
     """The *smallest* beneficiary improvement factor of a move.
 
     A move strictly improves every beneficiary iff this factor exceeds 1;
     a state is beta-approximately stable against the move iff the factor
-    is at most beta.
+    is at most beta.  Costs are read off the speculative kernel (exact).
     """
-    graph_after = move.apply(state.graph)
-    factor: Fraction | None = None
-    for agent in move.beneficiaries():
-        before = state.cost(agent)
-        after = agent_cost_after(state, graph_after, agent)
-        if after <= 0:
-            raise ValueError("costs must stay positive")
-        ratio = Fraction(before) / Fraction(after)
-        if factor is None or ratio < factor:
-            factor = ratio
-    assert factor is not None
-    return factor
+    return _improvement_factor(SpeculativeEvaluator(state), move)
 
 
 def is_approximate_equilibrium(
@@ -64,8 +69,9 @@ def is_approximate_equilibrium(
     bound = as_alpha(beta)
     if bound < 1:
         raise ValueError("beta must be at least 1")
+    spec = SpeculativeEvaluator(state)
     for move in improving_moves(state, concept):
-        if move_improvement_factor(state, move) > bound:
+        if _improvement_factor(spec, move) > bound:
             return False
     return True
 
@@ -80,7 +86,8 @@ def stability_factor(
     Returns 1 when the state is an exact equilibrium of the concept.
     """
     worst = Fraction(1)
+    spec = SpeculativeEvaluator(state)
     pool = improving_moves(state, concept) if moves is None else moves
     for move in pool:
-        worst = max(worst, move_improvement_factor(state, move))
+        worst = max(worst, _improvement_factor(spec, move))
     return worst

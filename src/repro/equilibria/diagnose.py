@@ -8,8 +8,7 @@ degrade gracefully to budgeted/probing verdicts instead of failing.
 
 from __future__ import annotations
 
-import random
-
+from repro._rng import RngLike, coerce_rng
 from repro.core.concepts import Concept
 from repro.core.state import GameState
 from repro.equilibria.add import (
@@ -55,16 +54,18 @@ def _budgeted(finder, prober, note: str) -> StabilityReport:
 def diagnose(
     state: GameState,
     max_coalition_size: int = 3,
-    seed: int = 0,
+    seed: RngLike = 0,
     probe_samples: int = 2000,
 ) -> dict[Concept, StabilityReport]:
     """Stability report per concept (k-BSE at ``max_coalition_size``).
 
     Polynomial concepts are exact.  BNE and k-BSE fall back to seeded
     randomized probing when the exhaustive search exceeds its budget; such
-    "stable" verdicts carry ``exhaustive=False`` and a note.
+    "stable" verdicts carry ``exhaustive=False`` and a note.  ``seed`` may
+    be an integer seed or a ready ``random.Random``, so probe verdicts
+    are reproducible end-to-end.
     """
-    rng = random.Random(seed)
+    rng = coerce_rng(seed)
     removal = find_improving_removal(state)
     addition = find_improving_bilateral_add(state)
     swap = find_improving_swap(state)

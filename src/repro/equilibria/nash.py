@@ -9,6 +9,9 @@ strategy: edges owned by *others* persist no matter what ``u`` plays.
 Computing a best response in the NCG is NP-hard in general, so the exact
 checker enumerates all ``2^(n-1)`` strategies per agent and is guarded to
 small ``n`` — exactly what the Figure 2 / Proposition 2.3 experiments need.
+Each deviation is costed on the speculative kernel (its one-edge deltas
+applied to the cached distance engine and undone via LIFO tokens) instead
+of rebuilding a graph and running a fresh BFS per strategy.
 """
 
 from __future__ import annotations
@@ -20,8 +23,8 @@ from fractions import Fraction
 import networkx as nx
 
 from repro.core.moves import normalize_edge
+from repro.core.speculative import SpeculativeEvaluator
 from repro.core.state import GameState
-from repro.graphs.distances import single_source_distances
 
 __all__ = [
     "EdgeAssignment",
@@ -69,6 +72,54 @@ class EdgeAssignment:
         return [edge for edge, who in self.owner.items() if who != agent]
 
 
+def _kept_neighbors(assignment: EdgeAssignment, agent: int) -> frozenset[int]:
+    """Neighbors of ``agent`` whose edge persists under any deviation
+    (bought by the other endpoint)."""
+    return frozenset(
+        v if u == agent else u
+        for (u, v), who in assignment.owner.items()
+        if who != agent and agent in (u, v)
+    )
+
+
+def _deviation_deltas(
+    state: GameState,
+    kept: frozenset[int],
+    agent: int,
+    strategy: frozenset[int],
+) -> list[tuple[str, int, int]]:
+    """Ordered one-edge deltas turning the current graph into the graph
+    induced by ``agent`` unilaterally playing ``strategy``.
+
+    Only edges incident to ``agent`` can change: edges owned by others
+    persist, so the realised neighborhood is ``kept | strategy``.
+    """
+    current = set(state.graph.neighbors(agent))
+    realised = set(kept) | set(strategy)
+    return [
+        ("remove", agent, other) for other in sorted(current - realised)
+    ] + [("add", agent, other) for other in sorted(realised - current)]
+
+
+def _strategy_cost_speculative(
+    spec: SpeculativeEvaluator,
+    kept: frozenset[int],
+    agent: int,
+    strategy: frozenset[int],
+) -> Fraction:
+    """``agent``'s cost under ``strategy``, read off the kernel.
+
+    Double-bought edges still cost her ``alpha`` each (she pays per
+    target, not per realised edge), so the buying term uses
+    ``len(strategy)`` rather than the realised degree.
+    """
+    state = spec.state
+    deltas = _deviation_deltas(state, kept, agent, strategy)
+    with spec.applied(deltas):
+        dist_after = spec.engine.total(agent)
+    return state.alpha * len(strategy) + dist_after
+
+
 def strategy_cost(
     state: GameState,
     assignment: EdgeAssignment,
@@ -79,15 +130,13 @@ def strategy_cost(
 
     The induced graph keeps all edges owned by other agents and adds
     ``agent``'s bought edges; double-bought edges still cost her ``alpha``
-    each (she pays per target, not per realised edge).
+    each (she pays per target, not per realised edge).  Evaluated on the
+    speculative kernel: the deviation's one-edge deltas are applied to the
+    state's cached distance engine and rolled back via undo tokens.
     """
-    graph = nx.Graph()
-    graph.add_nodes_from(range(state.n))
-    graph.add_edges_from(assignment.owned_by_others(agent))
-    for target in strategy:
-        graph.add_edge(agent, target)
-    dist = single_source_distances(graph, agent, state.m_constant)
-    return state.alpha * len(strategy) + int(dist.sum())
+    spec = SpeculativeEvaluator(state)
+    kept = _kept_neighbors(assignment, agent)
+    return _strategy_cost_speculative(spec, kept, agent, strategy)
 
 
 def best_response(
@@ -97,19 +146,22 @@ def best_response(
 ) -> tuple[Fraction, frozenset[int]]:
     """Exact best response of ``agent`` (exhaustive over all strategies).
 
-    Guarded to ``n <= 16``: the search space is ``2^(n-1)`` strategies.
+    Guarded to ``n <= 16``: the search space is ``2^(n-1)`` strategies,
+    all evaluated against one shared speculative evaluator.
     """
     if state.n > _MAX_EXACT_N:
         raise ValueError(
             f"exact best response supported only for n <= {_MAX_EXACT_N}"
         )
+    spec = SpeculativeEvaluator(state)
+    kept = _kept_neighbors(assignment, agent)
     others = [v for v in range(state.n) if v != agent]
     best_cost: Fraction | None = None
     best_strategy: frozenset[int] = frozenset()
     for size in range(len(others) + 1):
         for combo in itertools.combinations(others, size):
             strategy = frozenset(combo)
-            cost = strategy_cost(state, assignment, agent, strategy)
+            cost = _strategy_cost_speculative(spec, kept, agent, strategy)
             if best_cost is None or cost < best_cost:
                 best_cost = cost
                 best_strategy = strategy

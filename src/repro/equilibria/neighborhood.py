@@ -18,6 +18,15 @@ reductions and an explicit budget:
   ``dist(u) - (n-1)``, so improving moves satisfy
   ``alpha * (|A| - |R|) < dist(u) - (n - 1)``.
 
+Candidate evaluation runs on the
+:class:`~repro.core.speculative.SpeculativeEvaluator` kernel: each removal
+subset is applied to the cached distance engine **once** and amortised
+(via nested LIFO undo scopes) across every addition subset tried on top of
+it, and each candidate's verdict is read from incrementally maintained
+degree/total deltas — no per-candidate graph copies and no per-candidate
+BFS.  The search performs zero full APSP builds beyond the one that
+materialised the state's matrix.
+
 If the remaining space exceeds ``max_evaluations`` the checker raises
 :class:`SearchBudgetExceeded` rather than silently answering — callers fall
 back to the paper's sufficient conditions plus :func:`probe_neighborhood_moves`.
@@ -25,14 +34,13 @@ back to the paper's sufficient conditions plus :func:`probe_neighborhood_moves`.
 
 from __future__ import annotations
 
-import itertools
 import math
-import random
 from typing import Iterable, Sequence
 
 from repro._alpha import strict_gt_threshold
-from repro.core.costs import all_strictly_improve
+from repro._rng import RngLike, coerce_rng
 from repro.core.moves import NeighborhoodMove
+from repro.core.speculative import SpeculativeEvaluator
 from repro.core.state import GameState
 
 __all__ = [
@@ -98,11 +106,14 @@ def find_improving_neighborhood_move(
 
     Exact (within ``max_add`` / ``max_remove`` if given); raises
     :class:`SearchBudgetExceeded` if the pruned space is still larger than
-    ``max_evaluations``.
+    ``max_evaluations``.  Candidates are evaluated on the speculative
+    kernel: each removal subset is applied once and shared across its
+    addition subsets, then rolled back through LIFO undo tokens.
     """
     if centers is None:
         centers = range(state.n)
     alpha = state.alpha
+    spec = SpeculativeEvaluator(state)
     for center in centers:
         neighbors = sorted(state.graph.neighbors(center))
         willing = willing_partners(state, center)
@@ -120,23 +131,105 @@ def find_improving_neighborhood_move(
         slack = center_dist - (state.n - 1)
         remove_cap = len(neighbors) if max_remove is None else max_remove
         add_cap = len(willing) if max_add is None else min(max_add, len(willing))
-        for removed_size in range(remove_cap + 1):
-            for removed in itertools.combinations(neighbors, removed_size):
-                for added_size in range(add_cap + 1):
-                    if removed_size == 0 and added_size == 0:
-                        continue
-                    if alpha * (added_size - removed_size) >= slack:
-                        break  # larger A only makes it worse
-                    for added in itertools.combinations(willing, added_size):
-                        move = NeighborhoodMove(
-                            center=center, removed=removed, added=added
-                        )
-                        graph_after = move.apply(state.graph)
-                        if all_strictly_improve(
-                            state, graph_after, move.beneficiaries()
-                        ):
-                            return move
+        move = _dfs_center_space(
+            spec, center, neighbors, willing, remove_cap, add_cap, slack
+        )
+        if move is not None:
+            return move
     return None
+
+
+def _dfs_center_space(
+    spec: SpeculativeEvaluator,
+    center: int,
+    neighbors: Sequence[int],
+    willing: Sequence[int],
+    remove_cap: int,
+    add_cap: int,
+    slack,
+) -> NeighborhoodMove | None:
+    """DFS over the (removed, added) subsets around one center.
+
+    Removal subsets walk the engine with push/pop tokens (siblings share
+    their common prefix: one apply + one undo per removal node); each
+    removal prefix then evaluates its whole addition powerset through a
+    rows-only :class:`~repro.core.speculative.Fold` over the center
+    and the willing partners — no matrix mutation per addition candidate.
+
+    The size-pruning invariant matches the combination enumeration it
+    replaces: a candidate is evaluated iff ``alpha * (|A| - |R|) <
+    slack`` (necessary for the center to benefit), and since folding one
+    more partner only raises ``|A|``, a failing count prunes the whole
+    sibling suffix.
+    """
+    threshold = strict_gt_threshold(spec.alpha)
+    tracked = (center, *willing)
+    removed: list[int] = []
+    added: list[int] = []
+
+    def fold_improves(fold) -> bool:
+        # the center pays |A| - |R| extra edges; each added partner pays 1
+        gain_center = spec.base_dist(center) - fold.dist_total(center)
+        if not spec.alpha_lt(len(added) - len(removed), gain_center):
+            return False
+        for partner in added:
+            if spec.base_dist(partner) - fold.dist_total(partner) < threshold:
+                return False
+        return True
+
+    def descend_adds(fold, start: int) -> NeighborhoodMove | None:
+        if len(added) >= add_cap:
+            return None
+        if not spec.alpha_lt(len(added) + 1 - len(removed), slack):
+            return None  # a larger A only makes it worse
+        for index in range(start, len(willing)):
+            partner = willing[index]
+            child = fold.extend(center, partner)
+            added.append(partner)
+            try:
+                spec.note_evaluation()
+                if fold_improves(child):
+                    return NeighborhoodMove(
+                        center=center,
+                        removed=tuple(removed),
+                        added=tuple(added),
+                    )
+                found = descend_adds(child, index + 1)
+                if found is not None:
+                    return found
+            finally:
+                added.pop()
+        return None
+
+    def descend_removes(start: int) -> NeighborhoodMove | None:
+        if willing:
+            found = descend_adds(spec.fold(tracked), 0)
+            if found is not None:
+                return found
+        if len(removed) >= remove_cap:
+            return None
+        for index in range(start, len(neighbors)):
+            partner = neighbors[index]
+            spec.push("remove", center, partner)
+            removed.append(partner)
+            try:
+                if spec.alpha_lt(-len(removed), slack):
+                    spec.note_evaluation()
+                    if spec.improves(center):
+                        return NeighborhoodMove(
+                            center=center,
+                            removed=tuple(removed),
+                            added=(),
+                        )
+                found = descend_removes(index + 1)
+                if found is not None:
+                    return found
+            finally:
+                removed.pop()
+                spec.pop()
+        return None
+
+    return descend_removes(0)
 
 
 def is_neighborhood_equilibrium(
@@ -155,7 +248,7 @@ def is_neighborhood_equilibrium(
 
 def probe_neighborhood_moves(
     state: GameState,
-    rng: random.Random,
+    rng: RngLike = None,
     samples: int = 1000,
     max_add: int = 3,
     max_remove: int = 3,
@@ -164,9 +257,14 @@ def probe_neighborhood_moves(
     """Randomized refuter: samples bounded neighborhood moves.
 
     A returned move is a *certified* violation; ``None`` proves nothing.
-    Used on instances whose exact search is out of budget.
+    Used on instances whose exact search is out of budget.  ``rng`` may be
+    a ``random.Random``, an integer seed, or ``None`` (seed 0), so probe
+    verdicts are reproducible end-to-end.  Sampled candidates are
+    evaluated on the speculative kernel.
     """
+    rng = coerce_rng(rng)
     nodes = list(range(state.n)) if centers is None else list(centers)
+    spec = SpeculativeEvaluator(state)
     for _ in range(samples):
         center = rng.choice(nodes)
         neighbors = sorted(state.graph.neighbors(center))
@@ -180,7 +278,6 @@ def probe_neighborhood_moves(
         removed = tuple(rng.sample(neighbors, removed_size))
         added = tuple(rng.sample(willing, added_size))
         move = NeighborhoodMove(center=center, removed=removed, added=added)
-        graph_after = move.apply(state.graph)
-        if all_strictly_improve(state, graph_after, move.beneficiaries()):
+        if spec.move_improves(move):
             return move
     return None

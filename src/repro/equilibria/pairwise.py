@@ -5,7 +5,10 @@
 * **BGE** = PS ∩ BSwE (the bilateral version of Lenzner's Greedy
   Equilibrium).
 
-Both are intersections of exact polynomial checkers, hence exact.
+Both are intersections of exact polynomial checkers, hence exact.  The
+component finders all evaluate candidates through the speculative kernel
+(engine queries and undo-token speculation), so a composite verdict here
+and a single-concept verdict elsewhere can never disagree.
 """
 
 from __future__ import annotations

@@ -32,8 +32,10 @@ def removal_loss(state: GameState, actor: int, other: int) -> int:
 def find_improving_removal(state: GameState) -> RemoveEdge | None:
     """First improving single-edge removal, or ``None`` (exact, O(m * m)).
 
-    Both endpoints' post-removal rows come from one batched BFS on the
-    state's cached CSR adjacency (the graph itself is never mutated).
+    Both endpoints' post-removal losses come from the engine's batched
+    speculative query — the same path the kernel's
+    :meth:`~repro.core.speculative.SpeculativeEvaluator.remove_loss_pair`
+    delegates to (one BFS pair per edge; the graph is never mutated).
     """
     if state.is_tree():
         return None  # removing any tree edge disconnects: loss >= M > alpha

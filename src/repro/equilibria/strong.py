@@ -10,21 +10,27 @@ Member costs after a move use clean post-move strategies: a member saves
 added edge, i.e. ``cost(u) = alpha * deg'(u) + dist'(u)`` in the mutated
 graph (Section 1.1's strategy/graph bijection).
 
-Exhaustive checking is doubly exponential-ish (coalitions x edge subsets);
-the exact checker enumerates with sound member-benefit pruning and an
-explicit evaluation budget, raising :class:`SearchBudgetExceeded` when the
-instance is out of reach — callers then combine scaled-down exact checks,
-the paper's case analyses, and :func:`probe_coalition_moves`.
+Exhaustive checking is doubly exponential-ish (coalitions x edge subsets).
+The exact checker enumerates edge subsets with an explicit evaluation
+budget and evaluates every candidate on the
+:class:`~repro.core.speculative.SpeculativeEvaluator` kernel: each deleted
+subset is applied to the cached distance engine once and amortised (via
+nested LIFO undo scopes) across every addition subset tried on top of it,
+and member verdicts are exact degree/total-delta comparisons — the old
+per-candidate adjacency-set rebuild and Python BFS per member are gone.
+When the instance is out of budget the checker raises
+:class:`SearchBudgetExceeded` — callers then combine scaled-down exact
+checks, the paper's case analyses, and :func:`probe_coalition_moves`.
 """
 
 from __future__ import annotations
 
 import itertools
-import random
-from collections import deque
 from typing import Iterable, Sequence
 
+from repro._rng import RngLike, coerce_rng
 from repro.core.moves import CoalitionMove, normalize_edge
+from repro.core.speculative import SpeculativeEvaluator
 from repro.core.state import GameState
 from repro.equilibria.neighborhood import SearchBudgetExceeded
 
@@ -34,45 +40,6 @@ __all__ = [
     "is_strong_equilibrium",
     "probe_coalition_moves",
 ]
-
-
-def _adjacency_sets(graph) -> list[set[int]]:
-    adjacency: list[set[int]] = [set() for _ in range(graph.number_of_nodes())]
-    for u, v in graph.edges:
-        adjacency[u].add(v)
-        adjacency[v].add(u)
-    return adjacency
-
-
-def _dist_total(adjacency: list[set[int]], source: int, unreachable: int) -> int:
-    """BFS total distance from ``source`` over a list-of-sets adjacency."""
-    n = len(adjacency)
-    dist = [-1] * n
-    dist[source] = 0
-    queue = deque([source])
-    total = 0
-    seen = 1
-    while queue:
-        node = queue.popleft()
-        for neighbor in adjacency[node]:
-            if dist[neighbor] < 0:
-                dist[neighbor] = dist[node] + 1
-                total += dist[neighbor]
-                seen += 1
-                queue.append(neighbor)
-    return total + (n - seen) * unreachable
-
-
-def _member_improves(
-    state: GameState,
-    adjacency: list[set[int]],
-    member: int,
-    base_dist: int,
-) -> bool:
-    new_dist = _dist_total(adjacency, member, state.m_constant)
-    delta_buy = len(adjacency[member]) - state.graph.degree(member)
-    # alpha * delta_buy + (new_dist - base_dist) < 0, exactly
-    return state.alpha * delta_buy < base_dist - new_dist
 
 
 def _coalition_edge_space(
@@ -100,6 +67,10 @@ def find_improving_coalition_move(
 ) -> CoalitionMove | None:
     """Exhaustive search for an improving coalition move of size at most
     ``max_coalition_size`` (raises :class:`SearchBudgetExceeded` over budget).
+
+    Candidates are evaluated on the speculative kernel: each removal
+    subset is applied once and shared across its addition subsets, then
+    rolled back through LIFO undo tokens.
     """
     if coalitions is None:
         nodes = range(state.n)
@@ -107,8 +78,7 @@ def find_improving_coalition_move(
             itertools.combinations(nodes, size)
             for size in range(1, min(max_coalition_size, state.n) + 1)
         )
-    base_dist = {u: state.dist.total(u) for u in range(state.n)}
-    base_adjacency = _adjacency_sets(state.graph)
+    spec = SpeculativeEvaluator(state)
     budget = max_evaluations
     for coalition in coalitions:
         removable, addable = _coalition_edge_space(state, coalition)
@@ -119,40 +89,179 @@ def find_improving_coalition_move(
                 f"coalition {coalition}: 2^{len(removable) + len(addable)} "
                 f"move candidates exceed the evaluation budget"
             )
-        members = list(coalition)
-        for removed in _powerset(removable):
-            for added in _powerset(addable):
-                if not removed and not added:
-                    continue
-                adjacency = [set(neighbors) for neighbors in base_adjacency]
-                for u, v in removed:
-                    adjacency[u].discard(v)
-                    adjacency[v].discard(u)
-                ok = True
-                for u, v in added:
-                    if v in adjacency[u]:
-                        ok = False  # re-adding a removed edge is a no-op combo
-                        break
-                    adjacency[u].add(v)
-                    adjacency[v].add(u)
-                if not ok:
-                    continue
-                if all(
-                    _member_improves(state, adjacency, member, base_dist[member])
-                    for member in members
-                ):
-                    return CoalitionMove(
-                        coalition=tuple(coalition),
-                        removed_edges=tuple(removed),
-                        added_edges=tuple(added),
-                    )
+        members = tuple(coalition)
+        move = _dfs_coalition_space(spec, members, removable, addable)
+        if move is not None:
+            return move
     return None
 
 
-def _powerset(items: Sequence) -> Iterable[tuple]:
-    return itertools.chain.from_iterable(
-        itertools.combinations(items, size) for size in range(len(items) + 1)
-    )
+def _dfs_coalition_space(
+    spec: SpeculativeEvaluator,
+    members: tuple[int, ...],
+    removable: Sequence[tuple[int, int]],
+    addable: Sequence[tuple[int, int]],
+) -> CoalitionMove | None:
+    """DFS over all nonempty (removed, added) subsets on the kernel.
+
+    Removal subsets walk the engine with push/pop tokens — siblings share
+    their common prefix, so each removal node costs one apply + one undo.
+    On top of each removal prefix the whole addition powerset evaluates
+    through a rows-only :class:`~repro.core.speculative.Fold` (added
+    edges live inside the coalition, so the members' rows close over the
+    fold) — no matrix mutation at all per addition candidate.
+
+    Two *sound* prunes cut subtrees without affecting exactness:
+
+    * remaining removals can lower member ``m``'s buying delta by at most
+      her incident count among them, and distances never drop below
+      ``n - 1`` (never below the current value once only removals
+      remain — removals are distance-monotone), so a member with
+      ``alpha * (buy_delta - future_incident_removals) >= bound`` dooms
+      every descendant;
+    * inside the addition suffix buying deltas only grow, so an endpoint
+      that cannot recover one more edge price
+      (``alpha * (buy_delta + 1) >= base_dist - (n - 1)``) dooms every
+      candidate containing that edge.
+    """
+    floor = spec.state.n - 1
+    slack = {m: spec.base_dist(m) - floor for m in members}
+    # future_incident[m][i] = removable edges at index >= i incident to m
+    future_incident = {}
+    for m in members:
+        counts = [0] * (len(removable) + 1)
+        for i in range(len(removable) - 1, -1, -1):
+            u, v = removable[i]
+            counts[i] = counts[i + 1] + (1 if m in (u, v) else 0)
+        future_incident[m] = counts
+    removed: list[tuple[int, int]] = []
+    added: list[tuple[int, int]] = []
+    touched = set(members)
+    for u, v in removable:
+        touched.update((u, v))
+    net_degree = {node: 0 for node in touched}
+
+    def candidate_improves(fold) -> bool:
+        for m in members:
+            gain = spec.base_dist(m) - fold.dist_total(m)
+            delta = spec.buy_delta(m) + net_degree[m]
+            if delta == 0:
+                if not gain > 0:
+                    return False
+            elif not spec.alpha_lt(delta, gain):
+                return False
+        return True
+
+    def found_move() -> CoalitionMove:
+        return CoalitionMove(
+            coalition=members,
+            removed_edges=tuple(removed),
+            added_edges=tuple(added),
+        )
+
+    def descend_adds(fold, start: int) -> CoalitionMove | None:
+        for index in range(start, len(addable)):
+            u, v = addable[index]
+            if not spec.alpha_lt(
+                spec.buy_delta(u) + net_degree[u] + 1, slack[u]
+            ) or not spec.alpha_lt(
+                spec.buy_delta(v) + net_degree[v] + 1, slack[v]
+            ):
+                continue  # this edge's price can never be recovered
+            child = fold.extend(u, v)
+            added.append((u, v))
+            net_degree[u] += 1
+            net_degree[v] += 1
+            try:
+                spec.note_evaluation()
+                if candidate_improves(child):
+                    return found_move()
+                found = descend_adds(child, index + 1)
+                if found is not None:
+                    return found
+            finally:
+                net_degree[u] -= 1
+                net_degree[v] -= 1
+                added.pop()
+        return None
+
+    def removal_prunable(next_start: int, fold=None) -> bool:
+        for m in members:
+            count = (
+                spec.buy_delta(m)
+                + net_degree[m]
+                - future_incident[m][next_start]
+            )
+            if addable:
+                # distances can still recover, but never below n - 1
+                bound = slack[m]
+            else:
+                # pure-removal subtree: distances are monotone from here
+                dist_now = (
+                    fold.dist_total(m)
+                    if fold is not None
+                    else int(spec.engine.matrix[m].sum())
+                )
+                bound = spec.base_dist(m) - dist_now
+            if not spec.alpha_lt(count, bound):
+                return True
+        return False
+
+    def descend_removes_fold(fold, start: int) -> CoalitionMove | None:
+        """Fully query-based DFS (forest instances): removals split the
+        fold, additions extend it — zero engine mutations."""
+        if addable:
+            # addable endpoints are members: drop the extra tracked rows
+            found = descend_adds(fold.restrict(members), 0)
+            if found is not None:
+                return found
+        for index in range(start, len(removable)):
+            u, v = removable[index]
+            child = fold.split(u, v)
+            removed.append((u, v))
+            net_degree[u] -= 1
+            net_degree[v] -= 1
+            try:
+                spec.note_evaluation()
+                if candidate_improves(child):
+                    return found_move()
+                if not removal_prunable(index + 1, child):
+                    found = descend_removes_fold(child, index + 1)
+                    if found is not None:
+                        return found
+            finally:
+                net_degree[u] += 1
+                net_degree[v] += 1
+                removed.pop()
+        return None
+
+    def descend_removes_engine(start: int) -> CoalitionMove | None:
+        """Token-based DFS (general instances): removals walk the engine
+        with push/pop, additions still fold on top of each prefix."""
+        if addable:
+            found = descend_adds(spec.fold(members), 0)
+            if found is not None:
+                return found
+        for index in range(start, len(removable)):
+            u, v = removable[index]
+            spec.push("remove", u, v)
+            removed.append((u, v))
+            try:
+                spec.note_evaluation()
+                if spec.all_improve(members):
+                    return found_move()
+                if not removal_prunable(index + 1):
+                    found = descend_removes_engine(index + 1)
+                    if found is not None:
+                        return found
+            finally:
+                removed.pop()
+                spec.pop()
+        return None
+
+    if spec.engine.is_forest:
+        return descend_removes_fold(spec.fold(sorted(touched)), 0)
+    return descend_removes_engine(0)
 
 
 def is_k_strong_equilibrium(
@@ -176,17 +285,20 @@ def is_strong_equilibrium(
 
 def probe_coalition_moves(
     state: GameState,
-    rng: random.Random,
+    rng: RngLike,
     max_coalition_size: int,
     samples: int = 1000,
 ) -> CoalitionMove | None:
     """Randomized refuter: samples coalitions and random legal moves.
 
     A returned move is a certified violation; ``None`` proves nothing.
+    ``rng`` may be a ``random.Random``, an integer seed, or ``None``
+    (seed 0), so probe verdicts are reproducible end-to-end.  Sampled
+    candidates are evaluated on the speculative kernel.
     """
+    rng = coerce_rng(rng)
     nodes = list(range(state.n))
-    base_dist = {u: state.dist.total(u) for u in nodes}
-    base_adjacency = _adjacency_sets(state.graph)
+    spec = SpeculativeEvaluator(state)
     for _ in range(samples):
         size = rng.randint(1, min(max_coalition_size, state.n))
         coalition = tuple(sorted(rng.sample(nodes, size)))
@@ -195,22 +307,9 @@ def probe_coalition_moves(
         added = tuple(e for e in addable if rng.random() < 0.5)
         if not removed and not added:
             continue
-        if set(removed) & set(added):
-            continue
-        adjacency = [set(neighbors) for neighbors in base_adjacency]
-        for u, v in removed:
-            adjacency[u].discard(v)
-            adjacency[v].discard(u)
-        for u, v in added:
-            adjacency[u].add(v)
-            adjacency[v].add(u)
-        if all(
-            _member_improves(state, adjacency, member, base_dist[member])
-            for member in coalition
-        ):
-            return CoalitionMove(
-                coalition=coalition,
-                removed_edges=removed,
-                added_edges=added,
-            )
+        move = CoalitionMove(
+            coalition=coalition, removed_edges=removed, added_edges=added
+        )
+        if spec.move_improves(move):
+            return move
     return None

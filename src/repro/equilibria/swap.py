@@ -64,21 +64,16 @@ def viable_swap_partners(
 def swap_gains(state: GameState, actor: int, old: int, new: int) -> tuple[int, int]:
     """Exact distance gains ``(gain_actor, gain_new)`` of one specific swap.
 
-    Reference implementation (two BFS runs on the mutated graph); the
-    vectorised searches below must agree with it.
+    Evaluated on the speculative kernel (apply the swap to the cached
+    engine, read both agents' total deltas, undo) — the same code path the
+    vectorised searches below speculate on, so the two can never disagree.
+    Tests re-derive these gains with fresh BFS runs on a mutated copy.
     """
-    from repro.graphs.distances import single_source_distances
+    from repro.core.speculative import SpeculativeEvaluator
 
-    graph = state.graph.copy()
-    graph.remove_edge(actor, old)
-    graph.add_edge(actor, new)
-    unreachable = state.m_constant
-    actor_after = int(single_source_distances(graph, actor, unreachable).sum())
-    new_after = int(single_source_distances(graph, new, unreachable).sum())
-    return (
-        state.dist.total(actor) - actor_after,
-        state.dist.total(new) - new_after,
-    )
+    spec = SpeculativeEvaluator(state)
+    with spec.speculate(Swap(actor=actor, old=old, new=new)):
+        return (-spec.dist_delta(actor), -spec.dist_delta(new))
 
 
 def _find_swap_tree(state: GameState) -> Swap | None:

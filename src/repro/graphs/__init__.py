@@ -12,6 +12,7 @@ from repro.graphs.distances import (
     is_connected,
     removed_edge_dist_vector,
     total_distances,
+    totals_rebuild_count,
 )
 from repro.graphs.trees import RootedTree, one_medians, tree_split_masks
 from repro.graphs.generation import (
@@ -39,5 +40,6 @@ __all__ = [
     "random_tree",
     "removed_edge_dist_vector",
     "total_distances",
+    "totals_rebuild_count",
     "tree_split_masks",
 ]

@@ -16,9 +16,13 @@ The identities behind the engine:
 * removing edge ``uv``: only pairs whose *every* shortest path crossed ``uv``
   can change, and any such pair has an endpoint whose distance to ``u`` or
   ``v`` changed.  The repair therefore re-runs BFS from the **affected rows**
-  only (found with two probe BFS runs from ``u`` and ``v``), batched into a
-  single C-level call; on trees the split into two components gives exact
-  answers with no search at all (see :mod:`repro.graphs.trees`).
+  only (found with two probe BFS runs from ``u`` and ``v``); on small graphs
+  the probes and the repair run as pure-Python BFS (the C-level call carries
+  ~100us of fixed overhead), larger repairs batch into a single C-level
+  call.  On **forests** every edge is a bridge and the two component sides
+  are read off the cached matrix (``d(x, u)`` vs ``d(x, v)``) — exact
+  answers with no search at all; acyclicity is tracked incrementally so
+  the test costs nothing.
 
 :class:`DistanceMatrix` exposes these as in-place ``apply_add`` /
 ``apply_remove`` / ``apply_swap`` mutators.  Each returns an
@@ -30,10 +34,23 @@ to speculatively evaluate a move and roll it back.  ``M`` must satisfy
 overflow ``int64``.
 
 Updates are **exact** in every case: additions by the outer-min identity,
-tree removals by the two-component formula, general removals by fresh BFS
+forest removals by the two-component formula, general removals by fresh BFS
 over the affected rows.  The only cost difference is that a general removal
 whose affected set is large degrades towards a full rebuild — it is never
 wrong, just slower.
+
+Per-row distance totals (``totals()`` / ``total(u)``) are maintained
+**incrementally** alongside the matrix: the first query pays one full
+``O(n^2)`` row-sum (counted by the :data:`TOTALS_REBUILDS` spy), after which
+every ``apply_*`` and ``undo`` shifts the affected entries from the same row
+patches it already records — ``O(|affected| * n)`` per mutation, never a
+full re-sum.  Because the matrix is symmetric and every changed entry has an
+endpoint among the patched rows, the shift
+
+    ``totals += delta.sum(axis=0)``
+    ``totals[rows] += delta.sum(axis=1) - delta[:, rows].sum(axis=1)``
+
+(with ``delta`` the patched rows' new-minus-old values) is exact.
 """
 
 from __future__ import annotations
@@ -65,16 +82,27 @@ __all__ = [
     "removed_edge_dist_vector",
     "single_source_distances",
     "total_distances",
+    "totals_rebuild_count",
 ]
 
 #: Number of full APSP builds since import — a test/benchmark spy used to
 #: assert that a dynamics trajectory pays for exactly one build.
 APSP_BUILDS = 0
 
+#: Number of full O(n^2) row-sum rebuilds of the per-row totals since import
+#: — a spy used to assert that totals are maintained incrementally along
+#: move trajectories (one rebuild at materialisation, then zero).
+TOTALS_REBUILDS = 0
+
 
 def apsp_build_count() -> int:
     """How many full APSP matrices have been built since import."""
     return APSP_BUILDS
+
+
+def totals_rebuild_count() -> int:
+    """How many full totals re-sums have been performed since import."""
+    return TOTALS_REBUILDS
 
 
 def _require_canonical(graph: nx.Graph) -> int:
@@ -168,6 +196,50 @@ def _rows_from_csr(
     return _exact_int_fill(raw, unreachable)
 
 
+#: Below this node count the engine repairs removals with pure-Python BFS
+#: over the networkx adjacency instead of scipy calls: the C-level path
+#: carries ~100us of fixed overhead per call (sparse arithmetic + dijkstra
+#: setup), which dwarfs an actual BFS on a small graph.  Exactness is
+#: identical; this is purely a constant-factor dispatch.
+_SMALL_N = 96
+
+
+def _bfs_row_py(
+    adj,
+    source: int,
+    n: int,
+    unreachable: int,
+    skip_a: int = -1,
+    skip_b: int = -1,
+) -> np.ndarray:
+    """One BFS distance row computed in pure Python (small graphs only).
+
+    ``skip_a``/``skip_b`` mask one edge out of the traversal, so pure
+    removal *queries* can run on the live adjacency without ever
+    mutating the graph.
+    """
+    dist = [-1] * n
+    dist[source] = 0
+    queue = [source]
+    head = 0
+    while head < len(queue):
+        node = queue[head]
+        head += 1
+        step = dist[node] + 1
+        for neighbor in adj[node]:
+            if dist[neighbor] < 0:
+                if neighbor == skip_b and node == skip_a:
+                    continue
+                if neighbor == skip_a and node == skip_b:
+                    continue
+                dist[neighbor] = step
+                queue.append(neighbor)
+    row = np.array(dist, dtype=np.int64)
+    if len(queue) < n:
+        row[row < 0] = unreachable
+    return row
+
+
 def single_source_distances(
     graph: nx.Graph, source: int, unreachable: int
 ) -> np.ndarray:
@@ -255,6 +327,7 @@ class UndoToken:
     csr_before: csr_matrix | None
     version_before: int
     version_after: int
+    acyclic_before: bool = False
 
 
 class DistanceMatrix:
@@ -266,9 +339,11 @@ class DistanceMatrix:
     * :meth:`apply_add` updates the whole matrix with a vectorised outer
       minimum (exact, no search);
     * :meth:`apply_remove` repairs only the affected rows with batched BFS
-      (exact; trees use the two-component formula, no search);
+      (exact; forests use the two-component formula, no search);
     * :meth:`apply_swap` composes the two;
-    * :meth:`undo` rolls any of them back bit-exactly (LIFO order).
+    * :meth:`undo` rolls any of them back bit-exactly (LIFO order);
+    * per-row ``totals()`` are maintained incrementally through all of the
+      above (one full row-sum at first query, shifts afterwards).
 
     Speculative *queries* that never touch the matrix are also provided:
     ``row_after_add`` (from the matrix alone) and ``rows_after_remove``
@@ -293,7 +368,13 @@ class DistanceMatrix:
             )
         self._graph = graph
         self._csr: csr_matrix | None = None
+        self._totals: np.ndarray | None = None
         self._version = 0
+        # acyclicity powers the O(n) forest-split removal path; removals
+        # preserve it, additions re-check it against the cached matrix,
+        # and undo tokens restore it — so it never needs a graph traversal
+        # after this one
+        self._acyclic = nx.is_forest(graph) if graph.number_of_edges() else True
         self.matrix = apsp_matrix(graph, self.unreachable)
 
     # -- plain queries ------------------------------------------------------
@@ -305,13 +386,50 @@ class DistanceMatrix:
         return self.matrix[u]
 
     def total(self, u: int) -> int:
-        return int(self.matrix[u].sum())
+        """``sum_v d(u, v)`` from the incrementally maintained totals."""
+        return int(self._totals_live()[u])
 
     def totals(self) -> np.ndarray:
-        return total_distances(self.matrix)
+        """Per-node totals as a *snapshot copy* (safe across ``apply_*``).
+
+        The first call pays one full row-sum; every later call is an
+        ``O(n)`` copy because ``apply_*`` / ``undo`` shift the cached
+        vector in place instead of re-summing the matrix.
+        """
+        return self._totals_live().copy()
+
+    def _totals_live(self) -> np.ndarray:
+        global TOTALS_REBUILDS
+        if self._totals is None:
+            TOTALS_REBUILDS += 1
+            self._totals = self.matrix.sum(axis=1)
+        return self._totals
+
+    def _shift_totals(self, rows: np.ndarray, old: np.ndarray) -> None:
+        """Shift cached totals by the change ``matrix[rows] - old``.
+
+        Exact because the matrix is symmetric and every changed entry has
+        at least one endpoint among ``rows`` (the patch invariant of
+        ``apply_add`` / ``apply_remove``).
+        """
+        totals = self._totals
+        if totals is None:
+            return
+        delta = self.matrix[rows] - old
+        totals += delta.sum(axis=0)
+        totals[rows] += delta.sum(axis=1) - delta[:, rows].sum(axis=1)
 
     def eccentricity(self, u: int) -> int:
         return int(self.matrix[u].max())
+
+    @property
+    def is_forest(self) -> bool:
+        """Whether the current graph is acyclic (tracked incrementally).
+
+        Powers the O(n) forest-split removal path and the searchers'
+        fully query-based fold evaluation on forest instances.
+        """
+        return self._acyclic
 
     def diameter(self) -> int:
         return int(self.matrix.max())
@@ -328,11 +446,18 @@ class DistanceMatrix:
     def rows_after_remove(self, u: int, v: int) -> tuple[np.ndarray, np.ndarray]:
         """Rows of ``u`` and ``v`` in ``G - uv`` (one batched BFS call).
 
-        Works on a temporary CSR with the edge masked out; neither the
-        matrix nor the graph is touched.
+        Small graphs BFS in Python with the edge masked out of the
+        traversal; larger ones work on a temporary CSR with the edge
+        masked out.  Neither the matrix nor the graph is touched.
         """
         if not self._graph.has_edge(u, v):
             raise ValueError(f"edge {u}-{v} not in graph")
+        if self.n <= _SMALL_N:
+            adj = self._graph.adj
+            return (
+                _bfs_row_py(adj, u, self.n, self.unreachable, u, v),
+                _bfs_row_py(adj, v, self.n, self.unreachable, u, v),
+            )
         rows = _rows_from_csr(
             self._csr_without(u, v), [u, v], self.unreachable
         )
@@ -342,6 +467,10 @@ class DistanceMatrix:
         """Distances from ``u`` after removing edge ``uv`` (one BFS)."""
         if not self._graph.has_edge(u, v):
             raise ValueError(f"edge {u}-{v} not in graph")
+        if self.n <= _SMALL_N:
+            return _bfs_row_py(
+                self._graph.adj, u, self.n, self.unreachable, u, v
+            )
         return _rows_from_csr(self._csr_without(u, v), u, self.unreachable)
 
     def remove_loss(self, u: int, v: int) -> int:
@@ -410,6 +539,9 @@ class DistanceMatrix:
         if self._graph.has_edge(u, v):
             raise ValueError(f"edge {u}-{v} already exists")
         matrix = self.matrix
+        acyclic_before = self._acyclic
+        if self._acyclic and matrix[u, v] < self.unreachable:
+            self._acyclic = False  # the new edge closes a cycle
         via = matrix[u][:, None] + (matrix[v][None, :] + 1)
         candidate = np.minimum(via, via.T)
         changed_rows = np.flatnonzero((candidate < matrix).any(axis=1))
@@ -419,34 +551,36 @@ class DistanceMatrix:
                 _RowPatch(rows=changed_rows, old=matrix[changed_rows].copy()),
             )
             np.minimum(matrix, candidate, out=matrix)
+            self._shift_totals(changed_rows, patches[0].old)
+        # invalidate rather than patch the CSR: speculative add/undo cycles
+        # never pay for sparse arithmetic, and the token restores the cache
         csr_before = self._csr
-        if self._csr is not None:
-            self._csr = self._csr + self._edge_csr(u, v)
+        self._csr = None
         self._graph.add_edge(u, v)
-        return self._finish(patches, (("remove", u, v),), csr_before)
+        return self._finish(
+            patches, (("remove", u, v),), csr_before, acyclic_before
+        )
 
     def apply_remove(self, u: int, v: int) -> UndoToken:
         """Remove edge ``uv`` and repair the matrix in place (exact).
 
-        If the current graph is a tree, the deletion splits it into the two
-        components of :func:`repro.graphs.trees.tree_split_masks` and every
-        cross pair becomes ``unreachable`` — no search.  Otherwise two probe
-        BFS runs from ``u`` and ``v`` identify the affected rows (every
-        changed pair has an endpoint among them) and one batched BFS call
-        recomputes exactly those rows.  Returns an undo token.
+        If the current graph is a forest, every edge is a bridge: the
+        deletion splits ``u``'s component into ``{x : d(x, u) < d(x, v)}``
+        and ``{x : d(x, v) < d(x, u)}`` (paths in a forest are unique, so
+        ties cannot occur) and every cross pair becomes ``unreachable`` —
+        both sides are read off the cached matrix, no search.  Otherwise
+        two probe BFS runs from ``u`` and ``v`` identify the affected rows
+        (every changed pair has an endpoint among them) and a batched
+        repair recomputes exactly those rows.  Returns an undo token.
         """
-        from repro.graphs.trees import tree_split_masks
-
         if not self._graph.has_edge(u, v):
             raise ValueError(f"edge {u}-{v} not in graph")
         matrix = self.matrix
         csr_before = self._csr
-        is_tree = (
-            self._graph.number_of_edges() == self.n - 1
-            and int(matrix[u].max()) < self.unreachable
-        )
-        if is_tree:
-            side_u, side_v = tree_split_masks(self._graph, u, v, self.n)
+        acyclic_before = self._acyclic
+        if self._acyclic:
+            side_u = matrix[u] < matrix[v]
+            side_v = matrix[v] < matrix[u]
             # every changed entry is a cross pair, so the smaller side's
             # rows (restored as rows *and* columns) cover all of them
             small = side_u if side_u.sum() <= side_v.sum() else side_v
@@ -456,13 +590,26 @@ class DistanceMatrix:
             )
             matrix[np.ix_(side_u, side_v)] = self.unreachable
             matrix[np.ix_(side_v, side_u)] = self.unreachable
+            self._shift_totals(small_rows, patches[0].old)
             self._graph.remove_edge(u, v)
             self._csr = None
-            return self._finish(patches, (("add", u, v),), csr_before)
-        masked = self._csr_without(u, v)
-        self._graph.remove_edge(u, v)
-        self._csr = masked
-        probes = _rows_from_csr(masked, [u, v], self.unreachable)
+            return self._finish(
+                patches, (("add", u, v),), csr_before, acyclic_before
+            )
+        if self.n <= _SMALL_N:
+            self._graph.remove_edge(u, v)
+            self._csr = None
+            adj = self._graph.adj
+            probes = (
+                _bfs_row_py(adj, u, self.n, self.unreachable),
+                _bfs_row_py(adj, v, self.n, self.unreachable),
+            )
+            masked = None
+        else:
+            masked = self._csr_without(u, v)
+            self._graph.remove_edge(u, v)
+            self._csr = masked
+            probes = _rows_from_csr(masked, [u, v], self.unreachable)
         affected = np.flatnonzero(
             (probes[0] != matrix[u]) | (probes[1] != matrix[v])
         )
@@ -475,13 +622,32 @@ class DistanceMatrix:
             # their repaired rows are the probes — BFS only the rest
             rest = affected[(affected != u) & (affected != v)]
             if rest.size:
-                repaired = _rows_from_csr(masked, rest, self.unreachable)
+                if masked is None and rest.size * self.n <= _SMALL_N * 8:
+                    # small repair batch: python BFS beats scipy's call
+                    # overhead; large batches fall through to one batched
+                    # C-level call on a rebuilt CSR
+                    adj = self._graph.adj
+                    repaired = np.stack(
+                        [
+                            _bfs_row_py(adj, int(node), self.n, self.unreachable)
+                            for node in rest
+                        ]
+                    )
+                else:
+                    repaired = _rows_from_csr(
+                        self.csr if masked is None else masked,
+                        rest,
+                        self.unreachable,
+                    )
                 matrix[rest, :] = repaired
                 matrix[:, rest] = repaired.T
             for node, probe in ((u, probes[0]), (v, probes[1])):
                 matrix[node, :] = probe
                 matrix[:, node] = probe
-        return self._finish(patches, (("add", u, v),), csr_before)
+            self._shift_totals(affected, patches[0].old)
+        return self._finish(
+            patches, (("add", u, v),), csr_before, acyclic_before
+        )
 
     def apply_swap(self, actor: int, old: int, new: int) -> UndoToken:
         """Replace edge ``actor-old`` by ``actor-new`` (one undo token)."""
@@ -497,15 +663,19 @@ class DistanceMatrix:
             csr_before=removal.csr_before,
             version_before=removal.version_before,
             version_after=addition.version_after,
+            acyclic_before=removal.acyclic_before,
         )
 
-    def _finish(self, patches, inverse_ops, csr_before) -> UndoToken:
+    def _finish(
+        self, patches, inverse_ops, csr_before, acyclic_before
+    ) -> UndoToken:
         token = UndoToken(
             patches=tuple(patches),
             inverse_ops=tuple(inverse_ops),
             csr_before=csr_before,
             version_before=self._version,
             version_after=self._version + 1,
+            acyclic_before=acyclic_before,
         )
         self._version += 1
         return token
@@ -519,12 +689,15 @@ class DistanceMatrix:
                 f"token for {token.version_after})"
             )
         for patch in reversed(token.patches):
+            current = self.matrix[patch.rows]  # fancy index: already a copy
             self.matrix[patch.rows, :] = patch.old
             self.matrix[:, patch.rows] = patch.old.T
+            self._shift_totals(patch.rows, current)
         for op, u, v in token.inverse_ops:
             if op == "add":
                 self._graph.add_edge(u, v)
             else:
                 self._graph.remove_edge(u, v)
         self._csr = token.csr_before
+        self._acyclic = token.acyclic_before
         self._version = token.version_before

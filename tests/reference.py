@@ -106,3 +106,155 @@ def naive_is_bge(state: GameState) -> bool:
     return naive_is_pairwise_stable(
         state
     ) and naive_is_bilateral_swap_equilibrium(state)
+
+
+# -- pre-refactor searcher references ----------------------------------------
+#
+# Verbatim ports of the BNE / k-BSE searchers as they stood before the
+# speculative-kernel refactor: per-candidate graph copies plus fresh BFS
+# (neighborhood) and adjacency-set rebuilds plus pure-Python BFS
+# (coalitions).  The budget-accounting formulas are the ones the library
+# still uses, so SearchBudgetExceeded behaviour must match exactly.
+
+
+def reference_find_improving_neighborhood_move(
+    state: GameState,
+    centers=None,
+    max_evaluations: int = 2_000_000,
+    max_add=None,
+    max_remove=None,
+):
+    from repro.core.costs import all_strictly_improve
+    from repro.core.moves import NeighborhoodMove
+    from repro.equilibria.neighborhood import (
+        SearchBudgetExceeded,
+        _center_space_size,
+        willing_partners,
+    )
+
+    if centers is None:
+        centers = range(state.n)
+    alpha = state.alpha
+    for center in centers:
+        neighbors = sorted(state.graph.neighbors(center))
+        willing = willing_partners(state, center)
+        degree = len(neighbors)
+        if max_remove is not None:
+            degree = min(degree, max_remove)
+        if _center_space_size(degree, len(willing), max_add) > max_evaluations:
+            raise SearchBudgetExceeded(
+                f"center {center}: deg={len(neighbors)}, "
+                f"willing={len(willing)} exceeds budget {max_evaluations}"
+            )
+        center_dist = state.dist.total(center)
+        slack = center_dist - (state.n - 1)
+        remove_cap = len(neighbors) if max_remove is None else max_remove
+        add_cap = len(willing) if max_add is None else min(max_add, len(willing))
+        for removed_size in range(remove_cap + 1):
+            for removed in itertools.combinations(neighbors, removed_size):
+                for added_size in range(add_cap + 1):
+                    if removed_size == 0 and added_size == 0:
+                        continue
+                    if alpha * (added_size - removed_size) >= slack:
+                        break
+                    for added in itertools.combinations(willing, added_size):
+                        move = NeighborhoodMove(
+                            center=center, removed=removed, added=added
+                        )
+                        graph_after = move.apply(state.graph)
+                        if all_strictly_improve(
+                            state, graph_after, move.beneficiaries()
+                        ):
+                            return move
+    return None
+
+
+def _reference_powerset(items):
+    return itertools.chain.from_iterable(
+        itertools.combinations(items, size) for size in range(len(items) + 1)
+    )
+
+
+def _reference_dist_total(adjacency, source: int, unreachable: int) -> int:
+    from collections import deque
+
+    n = len(adjacency)
+    dist = [-1] * n
+    dist[source] = 0
+    queue = deque([source])
+    total = 0
+    seen = 1
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if dist[neighbor] < 0:
+                dist[neighbor] = dist[node] + 1
+                total += dist[neighbor]
+                seen += 1
+                queue.append(neighbor)
+    return total + (n - seen) * unreachable
+
+
+def reference_find_improving_coalition_move(
+    state: GameState,
+    max_coalition_size: int,
+    coalitions=None,
+    max_evaluations: int = 5_000_000,
+):
+    from repro.core.moves import CoalitionMove
+    from repro.equilibria.neighborhood import SearchBudgetExceeded
+    from repro.equilibria.strong import _coalition_edge_space
+
+    if coalitions is None:
+        nodes = range(state.n)
+        coalitions = itertools.chain.from_iterable(
+            itertools.combinations(nodes, size)
+            for size in range(1, min(max_coalition_size, state.n) + 1)
+        )
+    base_dist = {u: state.dist.total(u) for u in range(state.n)}
+    base_adjacency = [set() for _ in range(state.n)]
+    for u, v in state.graph.edges:
+        base_adjacency[u].add(v)
+        base_adjacency[v].add(u)
+    budget = max_evaluations
+    for coalition in coalitions:
+        removable, addable = _coalition_edge_space(state, coalition)
+        space = 2 ** (len(removable) + len(addable))
+        budget -= space
+        if budget < 0:
+            raise SearchBudgetExceeded(
+                f"coalition {coalition}: 2^{len(removable) + len(addable)} "
+                f"move candidates exceed the evaluation budget"
+            )
+        members = list(coalition)
+        for removed in _reference_powerset(removable):
+            for added in _reference_powerset(addable):
+                if not removed and not added:
+                    continue
+                adjacency = [set(neighbors) for neighbors in base_adjacency]
+                for u, v in removed:
+                    adjacency[u].discard(v)
+                    adjacency[v].discard(u)
+                for u, v in added:
+                    adjacency[u].add(v)
+                    adjacency[v].add(u)
+                improving = True
+                for member in members:
+                    new_dist = _reference_dist_total(
+                        adjacency, member, state.m_constant
+                    )
+                    delta_buy = len(adjacency[member]) - state.graph.degree(
+                        member
+                    )
+                    if not state.alpha * delta_buy < (
+                        base_dist[member] - new_dist
+                    ):
+                        improving = False
+                        break
+                if improving:
+                    return CoalitionMove(
+                        coalition=tuple(coalition),
+                        removed_edges=tuple(removed),
+                        added_edges=tuple(added),
+                    )
+    return None
