@@ -1,0 +1,123 @@
+"""Measure the ``_SMALL_N`` dispatch threshold on the current hardware.
+
+``repro.graphs.distances`` repairs removals with pure-Python BFS below
+``_SMALL_N`` nodes and batched C-level scipy calls above it — a pure
+constant-factor dispatch (both arms are bit-exact, guarded by
+``tests/test_cross_validation.py::TestDispatchArmsAgree``).  The
+crossover moves with the interpreter / scipy build, so this script
+re-measures it: for a grid of sizes it times the non-bridge
+``rows_after_remove`` probe pair and the full ``apply_remove`` +
+``undo`` cycle with each arm forced, and reports the measured ratio and
+the recommended threshold (the largest measured ``n`` where the Python
+arm still wins the probe pair).
+
+Not a pass/fail benchmark — it writes
+``results/BENCH_small_n_dispatch.json`` as a hardware record (a copy of
+the measurement that set the committed ``_SMALL_N`` lives in
+``baselines/``), prints the table, and asserts only sanity (both arms
+ran, ratios positive).  Run it when CI hardware changes::
+
+    PYTHONPATH=../src python -m pytest bench_small_n_dispatch.py -q
+"""
+
+import json
+import os
+import random
+import statistics
+import time
+
+from repro.analysis.tables import render_table
+from repro.graphs import distances as distances_mod
+from repro.graphs.distances import DistanceMatrix
+from repro.graphs.generation import random_connected_gnp
+
+from _harness import RESULTS_DIR, emit, once
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+UNREACHABLE = 10**7
+
+SIZES = (24, 48, 72, 96, 120, 160) if QUICK else (24, 48, 72, 96, 120, 160, 224, 288)
+REPEATS = 3 if QUICK else 5
+
+
+def _non_bridge_edges(dm, graph, limit=12):
+    edges = [edge for edge in graph.edges if not dm.is_bridge(*edge)]
+    return edges[:limit]
+
+
+def _time_arm(n, forced_small_n):
+    """Median seconds for probe queries and apply/undo cycles, one arm."""
+    saved = distances_mod._SMALL_N
+    distances_mod._SMALL_N = forced_small_n
+    try:
+        graph = random_connected_gnp(n, min(0.95, 4.0 / n), random.Random(n))
+        dm = DistanceMatrix(graph, UNREACHABLE)
+        edges = _non_bridge_edges(dm, graph)
+        probe_times = []
+        cycle_times = []
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            for u, v in edges:
+                dm.rows_after_remove(u, v)
+            probe_times.append((time.perf_counter() - start) / len(edges))
+            start = time.perf_counter()
+            for u, v in edges:
+                dm.undo(dm.apply_remove(u, v))
+            cycle_times.append((time.perf_counter() - start) / len(edges))
+        return statistics.median(probe_times), statistics.median(cycle_times)
+    finally:
+        distances_mod._SMALL_N = saved
+
+
+def study():
+    rows = []
+    payload = {"sizes": {}}
+    recommended = SIZES[0]
+    for n in SIZES:
+        python_probe, python_cycle = _time_arm(n, 10**9)
+        scipy_probe, scipy_cycle = _time_arm(n, 0)
+        probe_ratio = scipy_probe / python_probe
+        cycle_ratio = scipy_cycle / python_cycle
+        if probe_ratio > 1:  # python arm still faster at this size
+            recommended = n
+        rows.append(
+            [
+                n,
+                f"{python_probe * 1e6:.0f}",
+                f"{scipy_probe * 1e6:.0f}",
+                f"{probe_ratio:.2f}",
+                f"{cycle_ratio:.2f}",
+            ]
+        )
+        payload["sizes"][str(n)] = {
+            "python_probe_us": python_probe * 1e6,
+            "scipy_probe_us": scipy_probe * 1e6,
+            "probe_ratio_scipy_over_python": probe_ratio,
+            "cycle_ratio_scipy_over_python": cycle_ratio,
+        }
+    payload["recommended_small_n"] = recommended
+    payload["committed_small_n"] = distances_mod._SMALL_N
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_small_n_dispatch.json").write_text(
+        json.dumps({"quick": QUICK, **payload}, indent=2) + "\n"
+    )
+    return rows, payload
+
+
+def test_small_n_dispatch(benchmark):
+    rows, payload = once(benchmark, study)
+    emit(
+        "small_n_dispatch",
+        render_table(
+            ["n", "python probe us", "scipy probe us",
+             "probe ratio (scipy/python)", "apply+undo ratio"],
+            rows,
+            title=(
+                "_SMALL_N dispatch: pure-Python vs C-level removal repair "
+                f"(recommended threshold: {payload['recommended_small_n']}, "
+                f"committed: {payload['committed_small_n']})"
+            ),
+        ),
+    )
+    for stats in payload["sizes"].values():
+        assert stats["python_probe_us"] > 0 and stats["scipy_probe_us"] > 0

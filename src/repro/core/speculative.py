@@ -20,18 +20,26 @@ Contract (extends the PR-1 engine contract):
   undone first), which lets searchers amortise a shared edge-removal
   prefix across many candidate add-sets.
 * **exactness per move type** — additions update by the outer-min
-  identity (exact, no search), tree removals by the two-component split
-  (exact, no search), general removals by batched BFS over the affected
+  identity (exact, no search), *bridge* removals on any graph by the
+  two-component split read off the engine's incrementally maintained
+  bridge set (exact, no search; forests are the special case where every
+  edge qualifies), remaining removals by batched BFS over the affected
   rows (exact, merely slower when the affected set is large).  Cost
   comparisons reduce to ``alpha * d_buy < -d_dist`` — the exact
   ``Fraction``/int comparison of
   :func:`repro.core.costs.cost_strictly_less`, with a pure-integer fast
   path when the buying cost is unchanged — so a kernel verdict can never
   differ from a from-scratch recomputation.
-* **batching semantics** — :meth:`SpeculativeEvaluator.best` evaluates k
-  candidates one speculation each and keeps the move with the largest
-  total beneficiary cost drop, breaking ties by enumeration order (first
-  wins); partial evaluation state never survives between candidates.
+* **batching semantics** — :meth:`SpeculativeEvaluator.best` sweeps k
+  candidates and keeps the move with the largest total beneficiary cost
+  drop, breaking ties by enumeration order (first wins); partial
+  evaluation state never survives between candidates.  One-edge moves
+  (additions, removals, swaps) are evaluated **rows-only** — the add
+  identity, the bridge split, or a probe BFS, never an engine mutation —
+  via :meth:`SpeculativeEvaluator.evaluate_rows_only`; only compound
+  moves fall back to a per-candidate apply/undo speculation.  Both paths
+  produce identical exact deltas, so the sweep's verdicts are
+  bit-for-bit those of the speculating path.
 * **base snapshot** — deltas compare against the state at evaluator
   construction.  The evaluator is valid as long as the underlying state
   is only mutated *through* its own speculation scopes; apply a move for
@@ -51,7 +59,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.moves import Move
+from repro.core.moves import AddEdge, Move, RemoveEdge, Swap
 from repro.core.state import GameState
 
 __all__ = [
@@ -258,18 +266,87 @@ class SpeculativeEvaluator:
         improving = all(value < 0 for _, value in deltas)
         return MoveEvaluation(move=move, cost_deltas=deltas, improving=improving)
 
+    def evaluate_rows_only(self, move: Move) -> MoveEvaluation | None:
+        """Exact evaluation of a one-edge move without touching the engine.
+
+        Additions read the one-edge-add identity, removals of bridges the
+        two-component split, other removals a probe BFS on the cached
+        CSR, and swaps compose the two (a :class:`Fold` split + extend
+        over ``{actor, old, new}`` when the dropped edge is a bridge) —
+        no matrix mutation, no undo token, ever.  Returns ``None`` for
+        compound move types (neighborhood / coalition) and inside an
+        active speculation scope — deltas compare against the
+        construction-time base snapshot, so at depth > 0 only
+        :meth:`evaluate` composes correctly with the pushed prefix.
+        Where both paths apply they produce bit-identical
+        :class:`MoveEvaluation` results.
+        """
+        if self._stack:
+            return None  # base snapshot vs speculated matrix would mix
+        if isinstance(move, AddEdge):
+            u, v = move.u, move.v
+            if self.graph.has_edge(u, v):
+                raise ValueError(f"edge {u}-{v} already exists")
+            self.note_evaluation()
+            deltas = (
+                (u, self.alpha - self.engine.add_gain(u, v)),
+                (v, self.alpha - self.engine.add_gain(v, u)),
+            )
+        elif isinstance(move, RemoveEdge):
+            actor, other = move.actor, move.other
+            self.note_evaluation()
+            row = self.engine.rows_after_remove_from(actor, other, (actor,))
+            dist_after = int(row[0].sum())
+            deltas = (
+                (actor, dist_after - self._base_totals[actor] - self.alpha),
+            )
+        elif isinstance(move, Swap):
+            actor, old, new = move.actor, move.old, move.new
+            if self.graph.has_edge(actor, new):
+                raise ValueError(f"edge {actor}-{new} already exists")
+            if self.engine.is_bridge(actor, old):
+                fold = (
+                    self.fold((actor, old, new))
+                    .split(actor, old)
+                    .extend(actor, new)
+                )
+                dist_actor = fold.dist_total(actor)
+                dist_new = fold.dist_total(new)
+            else:
+                rows = self.engine.rows_after_remove_from(
+                    actor, old, (actor, new)
+                )
+                dist_actor = int(np.minimum(rows[0], 1 + rows[1]).sum())
+                dist_new = int(np.minimum(rows[1], 1 + rows[0]).sum())
+            self.note_evaluation()
+            deltas = (
+                (actor, Fraction(dist_actor - self._base_totals[actor])),
+                (new, dist_new - self._base_totals[new] + self.alpha),
+            )
+        else:
+            return None
+        improving = all(value < 0 for _, value in deltas)
+        return MoveEvaluation(
+            move=move, cost_deltas=deltas, improving=improving
+        )
+
     def best(
         self, moves: Iterable[Move]
     ) -> tuple[Move, MoveEvaluation] | None:
-        """Batch-evaluate candidates and keep the largest total cost drop.
+        """Sweep candidates rows-only and keep the largest total cost drop.
 
-        Ties break by enumeration order (the first best candidate wins);
-        returns ``None`` for an empty candidate stream.
+        The round's whole move pool is evaluated without a single engine
+        mutation (:meth:`evaluate_rows_only`); compound moves fall back
+        to one speculation each.  Ties break by enumeration order (the
+        first best candidate wins); returns ``None`` for an empty
+        candidate stream.
         """
         best_move: Move | None = None
         best_eval: MoveEvaluation | None = None
         for move in moves:
-            evaluation = self.evaluate(move)
+            evaluation = self.evaluate_rows_only(move)
+            if evaluation is None:
+                evaluation = self.evaluate(move)
             if (
                 best_eval is None
                 or evaluation.total_delta < best_eval.total_delta
@@ -289,16 +366,23 @@ class SpeculativeEvaluator:
 
     def remove_loss_pair(self, u: int, v: int) -> tuple[int, int]:
         """Distance losses of both endpoints when edge ``uv`` is removed
-        (one batched BFS on the cached CSR; no mutation)."""
+        (a matrix read for bridges, one batched BFS on the cached CSR
+        otherwise; no mutation)."""
         return self.engine.remove_loss_pair(u, v)
+
+    def is_bridge(self, u: int, v: int) -> bool:
+        """Whether edge ``uv`` is a bridge of the current (speculated)
+        graph — O(1) off the engine's maintained bridge set.  Gates the
+        search-free removal paths and :meth:`Fold.split`."""
+        return self.engine.is_bridge(u, v)
 
     def fold(self, nodes: Sequence[int]) -> "Fold":
         """Rows-only view of ``nodes`` for query-evaluated move suffixes.
 
         Seeds a :class:`Fold` from the engine's *current* matrix (any
         pushed deltas are reflected), after which whole addition subsets
-        — and, on forests, removal subsets — evaluate without touching
-        the engine at all.
+        — and removal subsets whose dropped edges are bridges of the
+        folded graph — evaluate without touching the engine at all.
         """
         order = list(nodes)
         index = {node: position for position, node in enumerate(order)}
@@ -316,18 +400,25 @@ class Fold:
     keeping the parent fold and extending copies — ``O(|tracked| * n)``
     per candidate, no matrix mutation, no undo, no search.
 
-    On a **forest** the same closure holds for removals: every edge is a
-    bridge, so deleting ``uv`` sends exactly the cross pairs between
+    The same closure holds for removing any **bridge** of the folded
+    graph (forest edges are the special case where every edge qualifies):
+    deleting bridge ``uv`` sends exactly the cross pairs between
     ``{x : d(x, u) < d(x, v)}`` and ``{x : d(x, v) < d(x, u)}`` to the
-    unreachable sentinel, and both side masks are read off the tracked
-    endpoint rows (:meth:`split`; the caller is responsible for only
-    splitting while the folded graph is acyclic — removals preserve
-    that, additions break it).
+    unreachable sentinel and changes nothing else — ties occur only for
+    nodes in other components, whose rows are correctly left untouched.
+    Both side masks are read off the tracked endpoint rows
+    (:meth:`split`; the caller is responsible for only splitting edges
+    that are bridges of the *folded* graph — e.g. certified by
+    :meth:`SpeculativeEvaluator.is_bridge` before any fold deltas, or by
+    folding on a forest, where removals preserve and additions break the
+    property).
 
     This is the kernel's batch fast path for the BNE and coalition
     searches (their added edges always live inside the tracked set:
     center plus willing partners, or the coalition; removable-edge
-    endpoints join the tracked set on forest instances).
+    endpoints join the tracked set on forest instances) and for the
+    dynamics schedulers' rows-only sweep over a round's move pool
+    (:meth:`SpeculativeEvaluator.best`).
     """
 
     __slots__ = ("_index", "_rows", "_unreachable")
@@ -359,10 +450,13 @@ class Fold:
         return Fold(index, folded, self._unreachable)
 
     def split(self, u: int, v: int) -> "Fold":
-        """A new fold with forest edge ``uv`` removed (endpoints tracked).
+        """A new fold with bridge ``uv`` removed (endpoints tracked).
 
-        Exact only while the folded graph is a forest (paths are unique,
-        so ``d(x, u) != d(x, v)`` for every ``x`` in their component).
+        Exact exactly when ``uv`` is a bridge of the folded graph (every
+        path between the cut sides crossed ``uv``, so
+        ``d(x, u) != d(x, v)`` for every ``x`` in their component; nodes
+        of other components tie and are correctly untouched).  Forests
+        are the classic case — there every edge qualifies.
         """
         index = self._index
         rows = self._rows

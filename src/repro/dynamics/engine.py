@@ -11,14 +11,18 @@ Cost model: a trajectory performs **one** full APSP build total.  The first
 ``social_cost`` call materialises the start state's distance matrix; every
 ``state.apply(move)`` after that hands the matrix to the successor and
 updates it in place through the incremental engine (``apply_add`` outer
-minimum, ``apply_remove`` affected-rows repair — see
-:mod:`repro.graphs.distances`).  Move generators, schedulers and checkers
-that need "what if?" answers speculate on the same cached matrix through
-the :class:`~repro.core.speculative.SpeculativeEvaluator` kernel (or raw
-**undo tokens**: ``token = dm.apply_remove(u, v)`` … read the repaired
-matrix … ``dm.undo(token)``).  Tokens are strictly LIFO, and generators
-must close every token *before* yielding, so a scheduler that abandons a
-half-drained generator can never leave the shared matrix speculative.
+minimum, ``apply_remove`` bridge split or affected-rows repair — see
+:mod:`repro.graphs.distances`; the maintained bridge set rides along).
+Move generators, schedulers and checkers that need "what if?" answers
+evaluate on the same cached matrix through the
+:class:`~repro.core.speculative.SpeculativeEvaluator` kernel: a round's
+whole one-edge move pool is swept **rows-only** (add identity, bridge
+split, probe BFS — no engine mutation at all), and only compound moves
+speculate via raw **undo tokens** (``token = dm.apply_remove(u, v)`` …
+read the repaired matrix … ``dm.undo(token)``).  Tokens are strictly
+LIFO, and generators must close every token *before* yielding, so a
+scheduler that abandons a half-drained generator can never leave the
+shared matrix speculative.
 """
 
 from __future__ import annotations

@@ -19,9 +19,14 @@ The move spaces mirror the concept definitions:
 
 All candidate evaluation — here and in the searchers this module calls —
 runs on the speculative kernel
-(:class:`~repro.core.speculative.SpeculativeEvaluator`): moves are applied
-to the state's cached distance engine and rolled back via LIFO undo
-tokens, so a trajectory never pays a full APSP rebuild per candidate.
+(:class:`~repro.core.speculative.SpeculativeEvaluator`), so a trajectory
+never pays a full APSP rebuild per candidate.  The engine's maintained
+bridge set makes the one-edge pools cheap: bridge edges are skipped by
+the removal generator without a BFS (they can never improve) and handled
+by the swap generator with a mutation-free matrix split; schedulers then
+batch-evaluate the round's whole pool rows-only
+(:meth:`~repro.core.speculative.SpeculativeEvaluator.best`) instead of
+per-candidate apply/undo.
 """
 
 from __future__ import annotations
@@ -53,6 +58,11 @@ __all__ = ["improving_moves", "move_generator_for"]
 def _improving_removals(state: GameState) -> Iterator[RemoveEdge]:
     dm = state.dist
     for u, v in list(state.graph.edges):
+        # bridges can never be improving removals (disconnection costs at
+        # least M - n > alpha); the maintained bridge set skips them
+        # without any BFS
+        if dm.is_bridge(u, v):
+            continue
         # both endpoints' losses from one batched BFS call
         loss_u, loss_v = dm.remove_loss_pair(u, v)
         for actor, other, loss in ((u, v, loss_u), (v, u, loss_v)):
@@ -97,9 +107,12 @@ def _improving_swaps_tree(state: GameState) -> Iterator[Swap]:
 def _improving_swaps_general(state: GameState) -> Iterator[Swap]:
     """All improving swaps via speculative removal on the distance engine.
 
-    For each edge we apply the removal in place, read every candidate
+    Bridge edges never mutate the engine at all: the post-removal matrix
+    is derived from the cached one by the two-component split
+    (:meth:`~repro.graphs.distances.DistanceMatrix.matrix_after_bridge_removal`).
+    Other edges apply the removal in place, read every candidate
     partner's gains from the repaired matrix with the one-edge-add identity,
-    undo the removal, and only then yield — so an abandoned generator can
+    and undo the removal before yielding — so an abandoned generator can
     never leave the shared matrix in a speculative state.
     """
     dm = state.dist
@@ -108,16 +121,21 @@ def _improving_swaps_general(state: GameState) -> Iterator[Swap]:
     adjacency = adjacency_bool(state.graph)
     for a, b in list(state.graph.edges):
         found: list[Swap] = []
-        token = dm.apply_remove(a, b)
-        try:
+        if dm.is_bridge(a, b):
+            removed = dm.matrix_after_bridge_removal(a, b)
+            token = None
+        else:
+            token = dm.apply_remove(a, b)
             removed = dm.matrix
+        try:
             for actor, old in ((a, b), (b, a)):
                 for new in viable_swap_partners(
                     removed, totals, adjacency, threshold, actor, old
                 ):
                     found.append(Swap(actor=actor, old=old, new=int(new)))
         finally:
-            dm.undo(token)
+            if token is not None:
+                dm.undo(token)
         yield from found
 
 

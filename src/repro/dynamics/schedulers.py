@@ -35,11 +35,22 @@ def first_improvement_scheduler(
 def random_improvement_scheduler(
     state: GameState, moves: Iterator[Move], rng: random.Random
 ) -> Move | None:
-    """A uniformly random improving move (drains the generator)."""
-    pool = list(moves)
-    if not pool:
-        return None
-    return pool[rng.randrange(len(pool))]
+    """A uniformly random improving move (reservoir sampling, O(1) memory).
+
+    The generator is still drained — uniformity requires seeing every
+    candidate — but the pool is never materialised: the k-th candidate
+    replaces the current choice with probability ``1/k``, which makes
+    every candidate equally likely no matter how long the stream is.
+    Deterministic given its ``random.Random``; the selection frequencies
+    match the old list-then-index implementation (seeded-equivalence
+    tested), though individual seeds map to different candidates because
+    the two consume the rng differently.
+    """
+    chosen = None
+    for count, move in enumerate(moves, start=1):
+        if rng.randrange(count) == 0:
+            chosen = move
+    return chosen
 
 
 def best_improvement_scheduler(
@@ -47,9 +58,12 @@ def best_improvement_scheduler(
 ) -> Move | None:
     """The move with the largest total cost drop over its beneficiaries.
 
-    Candidates are batch-evaluated on the speculative kernel (applied to
-    the cached distance engine, measured, and undone) instead of paying a
-    graph copy plus one BFS per beneficiary per candidate.
+    The round's whole move pool is swept rows-only on the speculative
+    kernel (:meth:`~repro.core.speculative.SpeculativeEvaluator.best`):
+    additions via the one-edge-add identity, bridge removals via the
+    two-component split, other removals via probe BFS, swaps via a Fold
+    split + extend — no per-candidate apply/undo on the cached engine,
+    and bit-identical verdicts to the speculating path.
     """
     spec = SpeculativeEvaluator(state)
     chosen = spec.best(moves)

@@ -15,8 +15,6 @@ shortcuts that case.
 
 from __future__ import annotations
 
-import networkx as nx
-
 from repro.core.moves import RemoveEdge
 from repro.core.state import GameState
 
@@ -32,21 +30,18 @@ def removal_loss(state: GameState, actor: int, other: int) -> int:
 def find_improving_removal(state: GameState) -> RemoveEdge | None:
     """First improving single-edge removal, or ``None`` (exact, O(m * m)).
 
-    Both endpoints' post-removal losses come from the engine's batched
-    speculative query — the same path the kernel's
+    Bridges are skipped straight off the engine's incrementally
+    maintained bridge set (no per-check Tarjan pass); both endpoints'
+    post-removal losses for the remaining edges come from the engine's
+    batched speculative query — the same path the kernel's
     :meth:`~repro.core.speculative.SpeculativeEvaluator.remove_loss_pair`
     delegates to (one BFS pair per edge; the graph is never mutated).
     """
     if state.is_tree():
         return None  # removing any tree edge disconnects: loss >= M > alpha
-    bridges = set()
-    if state.graph.number_of_edges() > 0:
-        for u, v in nx.bridges(state.graph):
-            bridges.add((u, v))
-            bridges.add((v, u))
     dm = state.dist
     for u, v in state.graph.edges:
-        if (u, v) in bridges:
+        if dm.is_bridge(u, v):
             continue
         loss_u, loss_v = dm.remove_loss_pair(u, v)
         for actor, other, loss in ((u, v, loss_u), (v, u, loss_v)):

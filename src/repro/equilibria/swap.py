@@ -10,10 +10,12 @@ Two exact strategies:
 * **trees** — removing ``uv`` splits the node set; all post-swap distances
   are closed-form in the original APSP matrix and the split masks, giving an
   ``O(n^2)`` vectorised evaluation per edge (``O(n^3)`` total, no BFS);
-* **general graphs** — speculatively remove each edge on the state's cached
-  :class:`~repro.graphs.distances.DistanceMatrix` (affected-rows BFS repair,
-  undone via the token afterwards), then the one-edge-add identity for every
-  candidate ``w`` — no full APSP rebuilds anywhere.
+* **general graphs** — bridge edges split the cached matrix in closed form
+  (no mutation, no search); other edges are speculatively removed on the
+  state's cached :class:`~repro.graphs.distances.DistanceMatrix`
+  (affected-rows BFS repair, undone via the token afterwards); then the
+  one-edge-add identity evaluates every candidate ``w`` — no full APSP
+  rebuilds anywhere.
 """
 
 from __future__ import annotations
@@ -112,10 +114,16 @@ def _find_swap_general(state: GameState) -> Swap | None:
     graph = state.graph
     adjacency = adjacency_bool(graph)
     for a, b in list(graph.edges):
-        # speculative in-place removal on the cached engine, undone below
-        token = dm.apply_remove(a, b)
-        try:
+        if dm.is_bridge(a, b):
+            # mutation-free: the post-removal matrix of a bridge is a
+            # two-component split of the cached one (no search)
+            removed = dm.matrix_after_bridge_removal(a, b)
+            token = None
+        else:
+            # speculative in-place removal on the cached engine, undone below
+            token = dm.apply_remove(a, b)
             removed = dm.matrix
+        try:
             for actor, old in ((a, b), (b, a)):
                 candidates = viable_swap_partners(
                     removed, totals, adjacency, w_threshold, actor, old
@@ -123,7 +131,8 @@ def _find_swap_general(state: GameState) -> Swap | None:
                 if candidates.size:
                     return Swap(actor=actor, old=old, new=int(candidates[0]))
         finally:
-            dm.undo(token)
+            if token is not None:
+                dm.undo(token)
     return None
 
 

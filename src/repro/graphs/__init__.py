@@ -1,5 +1,11 @@
-"""Graph substrate: distances, tree structure, and graph generation."""
+"""Graph substrate: distances, bridges, tree structure, and generation."""
 
+from repro.graphs.bridges import (
+    BridgeSet,
+    bridge_rebuild_count,
+    bridge_sweep_count,
+    component_bridges,
+)
 from repro.graphs.distances import (
     DistanceMatrix,
     UndoToken,
@@ -10,6 +16,7 @@ from repro.graphs.distances import (
     component_labels,
     dist_vector_after_add,
     is_connected,
+    remove_bfs_repair_count,
     removed_edge_dist_vector,
     total_distances,
     totals_rebuild_count,
@@ -23,6 +30,7 @@ from repro.graphs.generation import (
 )
 
 __all__ = [
+    "BridgeSet",
     "DistanceMatrix",
     "RootedTree",
     "UndoToken",
@@ -32,12 +40,16 @@ __all__ = [
     "all_trees",
     "apsp_build_count",
     "apsp_matrix",
+    "bridge_rebuild_count",
+    "bridge_sweep_count",
+    "component_bridges",
     "component_labels",
     "dist_vector_after_add",
     "is_connected",
     "one_medians",
     "random_connected_gnp",
     "random_tree",
+    "remove_bfs_repair_count",
     "removed_edge_dist_vector",
     "total_distances",
     "totals_rebuild_count",

@@ -1,0 +1,259 @@
+"""Incrementally maintained bridge set for the distance engine.
+
+A *bridge* is an edge whose removal disconnects its component.  The
+distance engine cares because removing a bridge has a closed-form effect
+on the cached APSP matrix: the component splits into the two sides of the
+bridge cut, every cross pair jumps to the unreachable sentinel, and every
+within-side distance is unchanged (a simple shortest path cannot cross
+the cut twice).  PR 1 exploited this on forests only — where *every* edge
+is a bridge — via incremental acyclicity tracking.  :class:`BridgeSet`
+generalises it: the engine now knows the exact bridge set of the live
+graph at all times, so bridge removals on arbitrary graphs take the
+search-free split path.
+
+Maintenance contract (mirrors the engine's ``apply_*`` / ``undo``):
+
+* **build** — one chain decomposition (Schmidt 2013) when the owning
+  :class:`~repro.graphs.distances.DistanceMatrix` materialises, counted
+  by the :data:`BRIDGE_REBUILDS` spy.  DFS-order the graph, then walk
+  each back edge's fundamental cycle upwards through parent pointers;
+  tree edges covered by no chain are exactly the bridges.
+* **addition of** ``uv`` — if ``u`` and ``v`` were disconnected the new
+  edge is itself a bridge and nothing else changes.  Otherwise the new
+  edge closes a cycle and the bridges that die are exactly those whose
+  cut separates ``u`` from ``v``; for a bridge ``ab`` the side of any
+  node ``x`` is readable off the *pre-add* matrix (``d(x, a) < d(x, b)``
+  on ``a``'s side, the reverse on ``b``'s, ties only for nodes in other
+  components), so the whole test is one vectorised comparison over the
+  current bridges — ``O(|bridges|)``, no traversal.
+* **removal of a bridge** ``uv`` — the edge leaves the set; no other
+  edge's status changes (deleting a cut edge destroys no cycles), so the
+  update is ``O(1)``.
+* **removal of a non-bridge** ``uv`` — cycles through ``uv`` die, so
+  edges may *become* bridges (never the reverse).  All candidates lie in
+  the component of ``u``, which one chain-decomposition sweep seeded at
+  ``u`` re-derives (:data:`BRIDGE_SWEEPS` spy).  The sweep costs
+  ``O(n_c + m_c)`` on that component — strictly dominated by the probe +
+  repair BFS work the engine already pays for the matrix on the same
+  removal, so the bridge set never changes the removal's complexity.
+* **undo** — every mutation returns an ``(added, removed)`` delta that
+  the engine stores in its :class:`~repro.graphs.distances.UndoToken`;
+  :meth:`BridgeSet.revert` restores the set bit-exactly in LIFO order.
+
+Because the set is exact at every step, ``is_forest`` is simply
+``|bridges| == |edges|`` — the engine's previous one-way acyclicity flag
+(which could not recover when deletions made a cyclic graph acyclic
+again) is subsumed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "BridgeDelta",
+    "BridgeSet",
+    "bridge_rebuild_count",
+    "bridge_sweep_count",
+    "component_bridges",
+]
+
+#: Number of full chain-decomposition builds since import — a test spy:
+#: exactly one per engine materialisation, zero along move trajectories.
+BRIDGE_REBUILDS = 0
+
+#: Number of component-local chain-decomposition sweeps (non-bridge
+#: removals only) since import — observability for the one update that
+#: is not O(affected); additions, bridge removals and undos never sweep.
+BRIDGE_SWEEPS = 0
+
+#: ``(added, removed)`` bridge-set delta of one engine mutation, stored
+#: in the engine's undo token and reversed by :meth:`BridgeSet.revert`.
+BridgeDelta = tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]
+
+_NO_CHANGE: BridgeDelta = ((), ())
+
+
+def bridge_rebuild_count() -> int:
+    """How many full chain-decomposition builds have run since import."""
+    return BRIDGE_REBUILDS
+
+
+def bridge_sweep_count() -> int:
+    """How many component-local bridge sweeps have run since import."""
+    return BRIDGE_SWEEPS
+
+
+def _edge(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def component_bridges(adj, roots: Iterable[int]) -> set[tuple[int, int]]:
+    """Bridges of the components containing ``roots``, by chain decomposition.
+
+    ``adj`` is a node -> neighbors mapping (e.g. ``networkx.Graph.adj``).
+    One iterative DFS per unvisited root records DFS numbers, parents and
+    back edges keyed by their ancestor endpoint; walking each back edge's
+    fundamental cycle upwards marks the chain-covered tree edges, and the
+    uncovered tree edges are exactly the bridges (Schmidt's chain
+    decomposition).  ``O(n_c + m_c)`` over the visited components.
+    """
+    dfn: dict[int, int] = {}
+    parent: dict[int, int | None] = {}
+    order: list[int] = []
+    back_at: dict[int, list[int]] = {}
+    for root in roots:
+        if root in dfn:
+            continue
+        dfn[root] = len(dfn)
+        parent[root] = None
+        order.append(root)
+        stack = [(root, iter(adj[root]))]
+        while stack:
+            node, neighbors = stack[-1]
+            descended = False
+            for neighbor in neighbors:
+                if neighbor not in dfn:
+                    dfn[neighbor] = len(dfn)
+                    parent[neighbor] = node
+                    order.append(neighbor)
+                    stack.append((neighbor, iter(adj[neighbor])))
+                    descended = True
+                    break
+                if neighbor != parent[node] and dfn[neighbor] < dfn[node]:
+                    # back edge node -> neighbor, keyed by the ancestor
+                    back_at.setdefault(neighbor, []).append(node)
+            if not descended:
+                stack.pop()
+    visited: set[int] = set()
+    chained: set[tuple[int, int]] = set()
+    for node in order:  # ancestors in increasing DFS order
+        for descendant in back_at.get(node, ()):
+            visited.add(node)
+            walk = descendant
+            while walk not in visited:
+                visited.add(walk)
+                step = parent[walk]
+                chained.add(_edge(walk, step))
+                walk = step
+    bridges = set()
+    for node in order:
+        up = parent[node]
+        if up is not None:
+            edge = _edge(node, up)
+            if edge not in chained:
+                bridges.add(edge)
+    return bridges
+
+
+class BridgeSet:
+    """The exact bridge set of a live graph, maintained through mutations.
+
+    Owned by :class:`~repro.graphs.distances.DistanceMatrix`; the engine
+    calls :meth:`note_add` / :meth:`note_remove` from inside its own
+    ``apply_*`` mutators (with the matrix / adjacency state each hook
+    documents) and stores the returned deltas in its undo tokens.
+    """
+
+    __slots__ = ("_edges", "_ends")
+
+    def __init__(self, adj, nodes: Iterable[int]):
+        global BRIDGE_REBUILDS
+        BRIDGE_REBUILDS += 1
+        self._edges: set[tuple[int, int]] = component_bridges(adj, nodes)
+        self._ends: tuple[np.ndarray, np.ndarray] | None = None
+
+    # -- queries ------------------------------------------------------------
+
+    def is_bridge(self, u: int, v: int) -> bool:
+        return _edge(u, v) in self._edges
+
+    def __contains__(self, edge) -> bool:
+        return _edge(*edge) in self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._edges)
+
+    def as_frozenset(self) -> frozenset:
+        return frozenset(self._edges)
+
+    def _endpoint_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Bridge endpoints as two int64 arrays (cached between mutations)."""
+        if self._ends is None:
+            ordered = sorted(self._edges)
+            first = np.fromiter(
+                (edge[0] for edge in ordered), dtype=np.int64, count=len(ordered)
+            )
+            second = np.fromiter(
+                (edge[1] for edge in ordered), dtype=np.int64, count=len(ordered)
+            )
+            self._ends = (first, second)
+        return self._ends
+
+    # -- mutation hooks (called by the engine) ------------------------------
+
+    def note_add(
+        self, u: int, v: int, matrix: np.ndarray, unreachable: int
+    ) -> BridgeDelta:
+        """Update for the addition of ``uv``; ``matrix`` is **pre-add**.
+
+        ``O(|bridges|)``: one vectorised side test against the cached
+        matrix decides which bridges the new cycle kills; a connecting
+        addition just inserts itself.
+        """
+        if matrix[u, v] == unreachable:
+            edge = _edge(u, v)
+            self._edges.add(edge)
+            self._ends = None
+            return ((edge,), ())
+        if not self._edges:
+            return _NO_CHANGE
+        first, second = self._endpoint_arrays()
+        row_u = matrix[u]
+        row_v = matrix[v]
+        dies = (row_u[first] < row_u[second]) != (row_v[first] < row_v[second])
+        if not dies.any():
+            return _NO_CHANGE
+        dead = tuple(
+            (int(a), int(b)) for a, b in zip(first[dies], second[dies])
+        )
+        self._edges.difference_update(dead)
+        self._ends = None
+        return ((), dead)
+
+    def note_remove(self, u: int, v: int, adj) -> BridgeDelta:
+        """Update for the removal of ``uv``; ``adj`` is **post-removal**.
+
+        Removing a bridge is ``O(1)`` (only the edge itself leaves the
+        set).  Removing a non-bridge may promote edges of ``u``'s
+        component to bridges — one component-local sweep re-derives them
+        (:data:`BRIDGE_SWEEPS`); bridges never demote on a deletion.
+        """
+        edge = _edge(u, v)
+        if edge in self._edges:
+            self._edges.discard(edge)
+            self._ends = None
+            return ((), (edge,))
+        global BRIDGE_SWEEPS
+        BRIDGE_SWEEPS += 1
+        found = component_bridges(adj, (u,))
+        fresh = tuple(sorted(found - self._edges))
+        if not fresh:
+            return _NO_CHANGE
+        self._edges.update(fresh)
+        self._ends = None
+        return (fresh, ())
+
+    def revert(self, delta: BridgeDelta) -> None:
+        """Roll one mutation's delta back (engine undo, LIFO order)."""
+        added, removed = delta
+        if not added and not removed:
+            return
+        self._edges.difference_update(added)
+        self._edges.update(removed)
+        self._ends = None

@@ -19,10 +19,29 @@ The identities behind the engine:
   only (found with two probe BFS runs from ``u`` and ``v``); on small graphs
   the probes and the repair run as pure-Python BFS (the C-level call carries
   ~100us of fixed overhead), larger repairs batch into a single C-level
-  call.  On **forests** every edge is a bridge and the two component sides
-  are read off the cached matrix (``d(x, u)`` vs ``d(x, v)``) — exact
-  answers with no search at all; acyclicity is tracked incrementally so
-  the test costs nothing.
+  call.  When ``uv`` is a **bridge** — on *any* graph, forests being the
+  special case where every edge qualifies — the BFS-repair path is never
+  entered: the component splits into the two sides of the bridge cut,
+  read off the cached matrix (``d(x, u)`` vs ``d(x, v)``), every cross
+  pair jumps to the sentinel and every within-side distance is unchanged
+  (a simple shortest path cannot cross the cut twice) — exact answers
+  with no search at all.
+
+**The bridge contract.**  The engine owns an incrementally maintained
+:class:`~repro.graphs.bridges.BridgeSet`: one chain-decomposition build
+at materialisation (spy-counted by
+:data:`repro.graphs.bridges.BRIDGE_REBUILDS`), then O(affected) updates
+ride along every ``apply_add`` / ``apply_remove`` / ``undo`` — a
+vectorised side test kills the bridges a new cycle absorbs, a bridge
+removal deletes only itself, and only a *non-bridge* removal pays a
+component-local sweep (already dominated by that removal's BFS repair).
+Consequently removals dispatch exactly: bridge removals (and the
+speculative queries ``rows_after_remove`` / ``row_after_remove`` /
+``remove_loss_pair`` on bridges) are search-free matrix reads, while
+non-bridge removals BFS-repair the affected rows, spy-counted by
+:data:`REMOVE_BFS_REPAIRS`.  ``is_forest`` is derived as
+``|bridges| == |edges|``, so it also recovers when deletions make a
+cyclic graph acyclic again.
 
 :class:`DistanceMatrix` exposes these as in-place ``apply_add`` /
 ``apply_remove`` / ``apply_swap`` mutators.  Each returns an
@@ -67,6 +86,7 @@ from scipy.sparse.csgraph import (
 )
 
 from repro._alpha import fits_int64
+from repro.graphs.bridges import BridgeSet
 
 __all__ = [
     "DistanceMatrix",
@@ -79,6 +99,7 @@ __all__ = [
     "component_labels",
     "dist_vector_after_add",
     "is_connected",
+    "remove_bfs_repair_count",
     "removed_edge_dist_vector",
     "single_source_distances",
     "total_distances",
@@ -94,6 +115,11 @@ APSP_BUILDS = 0
 #: move trajectories (one rebuild at materialisation, then zero).
 TOTALS_REBUILDS = 0
 
+#: Number of ``apply_remove`` calls that entered the BFS-repair path since
+#: import — a spy used to assert that bridge removals (forests included)
+#: always take the search-free split path instead.
+REMOVE_BFS_REPAIRS = 0
+
 
 def apsp_build_count() -> int:
     """How many full APSP matrices have been built since import."""
@@ -103,6 +129,11 @@ def apsp_build_count() -> int:
 def totals_rebuild_count() -> int:
     """How many full totals re-sums have been performed since import."""
     return TOTALS_REBUILDS
+
+
+def remove_bfs_repair_count() -> int:
+    """How many removals have entered the BFS-repair path since import."""
+    return REMOVE_BFS_REPAIRS
 
 
 def _require_canonical(graph: nx.Graph) -> int:
@@ -196,12 +227,23 @@ def _rows_from_csr(
     return _exact_int_fill(raw, unreachable)
 
 
-#: Below this node count the engine repairs removals with pure-Python BFS
-#: over the networkx adjacency instead of scipy calls: the C-level path
-#: carries ~100us of fixed overhead per call (sparse arithmetic + dijkstra
+#: Below this node count the engine answers removal probes with pure-Python
+#: BFS over the networkx adjacency instead of scipy calls: the C-level path
+#: carries ~200us of fixed overhead per call (sparse arithmetic + dijkstra
 #: setup), which dwarfs an actual BFS on a small graph.  Exactness is
-#: identical; this is purely a constant-factor dispatch.
-_SMALL_N = 96
+#: identical; this is purely a constant-factor dispatch, re-measured by
+#: ``benchmarks/bench_small_n_dispatch.py`` (record in
+#: ``benchmarks/baselines/BENCH_small_n_dispatch.json``: the Python arm
+#: wins 1-2 row probes by >= 1.4x through n = 160 and breaks even near
+#: 224; both arms' bit-exact agreement around the threshold is guarded by
+#: ``tests/test_cross_validation.py``).
+_SMALL_N = 160
+
+#: Batched row repairs stay in Python only while ``rows * n`` is below
+#: ``_SMALL_N * _REPAIR_BATCH_FACTOR`` cells; beyond that one batched
+#: C-level call wins (measured break-even: a fixed call costs about as
+#: much as 3-4 Python BFS rows at n = 160).
+_REPAIR_BATCH_FACTOR = 4
 
 
 def _bfs_row_py(
@@ -327,7 +369,7 @@ class UndoToken:
     csr_before: csr_matrix | None
     version_before: int
     version_after: int
-    acyclic_before: bool = False
+    bridge_deltas: tuple = ()
 
 
 class DistanceMatrix:
@@ -338,8 +380,11 @@ class DistanceMatrix:
 
     * :meth:`apply_add` updates the whole matrix with a vectorised outer
       minimum (exact, no search);
-    * :meth:`apply_remove` repairs only the affected rows with batched BFS
-      (exact; forests use the two-component formula, no search);
+    * :meth:`apply_remove` takes the two-component split whenever the
+      edge is a bridge of the current graph — forests being the special
+      case where every edge qualifies — and otherwise repairs only the
+      affected rows with batched BFS (exact in both cases, search-free
+      in the first);
     * :meth:`apply_swap` composes the two;
     * :meth:`undo` rolls any of them back bit-exactly (LIFO order);
     * per-row ``totals()`` are maintained incrementally through all of the
@@ -370,11 +415,10 @@ class DistanceMatrix:
         self._csr: csr_matrix | None = None
         self._totals: np.ndarray | None = None
         self._version = 0
-        # acyclicity powers the O(n) forest-split removal path; removals
-        # preserve it, additions re-check it against the cached matrix,
-        # and undo tokens restore it — so it never needs a graph traversal
-        # after this one
-        self._acyclic = nx.is_forest(graph) if graph.number_of_edges() else True
+        # the exact bridge set powers the search-free split removal path on
+        # any graph; built once here (chain decomposition), then maintained
+        # in O(affected) through apply_* / undo — see repro.graphs.bridges
+        self._bridges = BridgeSet(graph.adj, range(self.n))
         self.matrix = apsp_matrix(graph, self.unreachable)
 
     # -- plain queries ------------------------------------------------------
@@ -424,12 +468,29 @@ class DistanceMatrix:
 
     @property
     def is_forest(self) -> bool:
-        """Whether the current graph is acyclic (tracked incrementally).
+        """Whether the current graph is acyclic (derived from the bridges).
 
-        Powers the O(n) forest-split removal path and the searchers'
-        fully query-based fold evaluation on forest instances.
+        A graph is a forest iff every edge is a bridge, and the bridge set
+        is maintained exactly through every mutation — so unlike the old
+        one-way acyclicity flag this also recovers when deletions make a
+        cyclic graph acyclic again.  Powers the searchers' fully
+        query-based fold evaluation on forest instances.
         """
-        return self._acyclic
+        return len(self._bridges) == self._graph.number_of_edges()
+
+    def is_bridge(self, u: int, v: int) -> bool:
+        """Whether edge ``uv`` is a bridge (O(1) off the maintained set).
+
+        Bridge removals take the search-free split path in
+        :meth:`apply_remove` and in every speculative removal query; they
+        can also never be improving moves (disconnection costs at least
+        ``M - n > alpha``), so generators skip them without any BFS.
+        """
+        return self._bridges.is_bridge(u, v)
+
+    def bridges(self) -> frozenset:
+        """The current bridge set as canonical ``(min, max)`` pairs."""
+        return self._bridges.as_frozenset()
 
     def diameter(self) -> int:
         return int(self.matrix.max())
@@ -443,35 +504,89 @@ class DistanceMatrix:
     def row_after_add(self, u: int, v: int) -> np.ndarray:
         return dist_vector_after_add(self.matrix, u, v)
 
-    def rows_after_remove(self, u: int, v: int) -> tuple[np.ndarray, np.ndarray]:
-        """Rows of ``u`` and ``v`` in ``G - uv`` (one batched BFS call).
+    def _bridge_sides(self, u: int, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Side masks of bridge ``uv``'s cut, read off the cached matrix.
 
-        Small graphs BFS in Python with the edge masked out of the
-        traversal; larger ones work on a temporary CSR with the edge
-        masked out.  Neither the matrix nor the graph is touched.
+        ``x`` is on ``u``'s side iff ``d(x, u) < d(x, v)`` (every path
+        between the sides crossed the bridge, so ties occur only for
+        nodes of other components, which end up on neither side).  The
+        single source of truth for :meth:`apply_remove`,
+        :meth:`rows_after_remove_from` and
+        :meth:`matrix_after_bridge_removal`.
+        """
+        return self.matrix[u] < self.matrix[v], self.matrix[v] < self.matrix[u]
+
+    def rows_after_remove_from(
+        self, u: int, v: int, sources
+    ) -> np.ndarray:
+        """Distance rows of ``sources`` in ``G - uv`` (no mutation).
+
+        Bridges are search-free: each source keeps its side of the cut
+        and loses the far side to the sentinel, all read off the cached
+        matrix (sources in other components are unaffected).  Non-bridges
+        BFS — in Python on small graphs (edge masked out of the
+        traversal), in one batched C-level call on a temporary CSR
+        otherwise.  Neither the matrix nor the graph is touched.
         """
         if not self._graph.has_edge(u, v):
             raise ValueError(f"edge {u}-{v} not in graph")
+        sources = [int(source) for source in sources]
+        matrix = self.matrix
+        if self._bridges.is_bridge(u, v):
+            side_u, side_v = self._bridge_sides(u, v)
+            rows = np.empty((len(sources), self.n), dtype=np.int64)
+            for position, source in enumerate(sources):
+                to_u, to_v = matrix[source, u], matrix[source, v]
+                if to_u < to_v:  # source on u's side: loses v's side
+                    rows[position] = np.where(
+                        side_v, self.unreachable, matrix[source]
+                    )
+                elif to_v < to_u:  # source on v's side: loses u's side
+                    rows[position] = np.where(
+                        side_u, self.unreachable, matrix[source]
+                    )
+                else:  # another component: removal cannot affect it
+                    rows[position] = matrix[source]
+            return rows
         if self.n <= _SMALL_N:
             adj = self._graph.adj
-            return (
-                _bfs_row_py(adj, u, self.n, self.unreachable, u, v),
-                _bfs_row_py(adj, v, self.n, self.unreachable, u, v),
+            return np.stack(
+                [
+                    _bfs_row_py(adj, source, self.n, self.unreachable, u, v)
+                    for source in sources
+                ]
             )
-        rows = _rows_from_csr(
-            self._csr_without(u, v), [u, v], self.unreachable
+        return _rows_from_csr(
+            self._csr_without(u, v), sources, self.unreachable
         )
+
+    def rows_after_remove(self, u: int, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Rows of ``u`` and ``v`` in ``G - uv`` (bridge read or one BFS
+        batch; see :meth:`rows_after_remove_from`)."""
+        rows = self.rows_after_remove_from(u, v, (u, v))
         return rows[0], rows[1]
 
     def row_after_remove(self, u: int, v: int) -> np.ndarray:
-        """Distances from ``u`` after removing edge ``uv`` (one BFS)."""
-        if not self._graph.has_edge(u, v):
-            raise ValueError(f"edge {u}-{v} not in graph")
-        if self.n <= _SMALL_N:
-            return _bfs_row_py(
-                self._graph.adj, u, self.n, self.unreachable, u, v
-            )
-        return _rows_from_csr(self._csr_without(u, v), u, self.unreachable)
+        """Distances from ``u`` after removing edge ``uv``."""
+        return self.rows_after_remove_from(u, v, (u,))[0]
+
+    def matrix_after_bridge_removal(self, u: int, v: int) -> np.ndarray:
+        """Full APSP matrix of ``G - uv`` for a *bridge* ``uv``.
+
+        A fresh array derived entirely from the cached matrix (cross
+        pairs to the sentinel, everything else unchanged) — no search,
+        no mutation.  The swap searchers use it to evaluate every
+        candidate partner against a bridge removal without touching the
+        engine.
+        """
+        if not self._bridges.is_bridge(u, v):
+            raise ValueError(f"edge {u}-{v} is not a bridge")
+        side_u, side_v = self._bridge_sides(u, v)
+        removed = self.matrix.copy()
+        cross = side_u[:, None] & side_v[None, :]
+        removed[cross] = self.unreachable
+        removed[cross.T] = self.unreachable
+        return removed
 
     def remove_loss(self, u: int, v: int) -> int:
         """Distance-cost increase for ``u`` when edge ``uv`` is removed."""
@@ -539,9 +654,9 @@ class DistanceMatrix:
         if self._graph.has_edge(u, v):
             raise ValueError(f"edge {u}-{v} already exists")
         matrix = self.matrix
-        acyclic_before = self._acyclic
-        if self._acyclic and matrix[u, v] < self.unreachable:
-            self._acyclic = False  # the new edge closes a cycle
+        # the bridge update needs the pre-add matrix: dying bridges are
+        # found by a side test against the old distances
+        bridge_delta = self._bridges.note_add(u, v, matrix, self.unreachable)
         via = matrix[u][:, None] + (matrix[v][None, :] + 1)
         candidate = np.minimum(via, via.T)
         changed_rows = np.flatnonzero((candidate < matrix).any(axis=1))
@@ -558,29 +673,29 @@ class DistanceMatrix:
         self._csr = None
         self._graph.add_edge(u, v)
         return self._finish(
-            patches, (("remove", u, v),), csr_before, acyclic_before
+            patches, (("remove", u, v),), csr_before, (bridge_delta,)
         )
 
     def apply_remove(self, u: int, v: int) -> UndoToken:
         """Remove edge ``uv`` and repair the matrix in place (exact).
 
-        If the current graph is a forest, every edge is a bridge: the
-        deletion splits ``u``'s component into ``{x : d(x, u) < d(x, v)}``
-        and ``{x : d(x, v) < d(x, u)}`` (paths in a forest are unique, so
-        ties cannot occur) and every cross pair becomes ``unreachable`` —
-        both sides are read off the cached matrix, no search.  Otherwise
-        two probe BFS runs from ``u`` and ``v`` identify the affected rows
-        (every changed pair has an endpoint among them) and a batched
-        repair recomputes exactly those rows.  Returns an undo token.
+        If ``uv`` is a **bridge** (every forest edge is one), the deletion
+        splits its component into ``{x : d(x, u) < d(x, v)}`` and
+        ``{x : d(x, v) < d(x, u)}`` (every path between the sides crossed
+        ``uv``, so ties cannot occur) and every cross pair becomes
+        ``unreachable`` — both sides are read off the cached matrix, no
+        search.  Otherwise two probe BFS runs from ``u`` and ``v``
+        identify the affected rows (every changed pair has an endpoint
+        among them) and a batched repair recomputes exactly those rows
+        (spy-counted by :data:`REMOVE_BFS_REPAIRS`).  Returns an undo
+        token.
         """
         if not self._graph.has_edge(u, v):
             raise ValueError(f"edge {u}-{v} not in graph")
         matrix = self.matrix
         csr_before = self._csr
-        acyclic_before = self._acyclic
-        if self._acyclic:
-            side_u = matrix[u] < matrix[v]
-            side_v = matrix[v] < matrix[u]
+        if self._bridges.is_bridge(u, v):
+            side_u, side_v = self._bridge_sides(u, v)
             # every changed entry is a cross pair, so the smaller side's
             # rows (restored as rows *and* columns) cover all of them
             small = side_u if side_u.sum() <= side_v.sum() else side_v
@@ -593,9 +708,12 @@ class DistanceMatrix:
             self._shift_totals(small_rows, patches[0].old)
             self._graph.remove_edge(u, v)
             self._csr = None
+            bridge_delta = self._bridges.note_remove(u, v, self._graph.adj)
             return self._finish(
-                patches, (("add", u, v),), csr_before, acyclic_before
+                patches, (("add", u, v),), csr_before, (bridge_delta,)
             )
+        global REMOVE_BFS_REPAIRS
+        REMOVE_BFS_REPAIRS += 1
         if self.n <= _SMALL_N:
             self._graph.remove_edge(u, v)
             self._csr = None
@@ -610,6 +728,9 @@ class DistanceMatrix:
             self._graph.remove_edge(u, v)
             self._csr = masked
             probes = _rows_from_csr(masked, [u, v], self.unreachable)
+        # a non-bridge removal can only promote edges of this component to
+        # bridges; one local sweep re-derives them (post-removal adjacency)
+        bridge_delta = self._bridges.note_remove(u, v, self._graph.adj)
         affected = np.flatnonzero(
             (probes[0] != matrix[u]) | (probes[1] != matrix[v])
         )
@@ -622,7 +743,10 @@ class DistanceMatrix:
             # their repaired rows are the probes — BFS only the rest
             rest = affected[(affected != u) & (affected != v)]
             if rest.size:
-                if masked is None and rest.size * self.n <= _SMALL_N * 8:
+                if (
+                    masked is None
+                    and rest.size * self.n <= _SMALL_N * _REPAIR_BATCH_FACTOR
+                ):
                     # small repair batch: python BFS beats scipy's call
                     # overhead; large batches fall through to one batched
                     # C-level call on a rebuilt CSR
@@ -646,7 +770,7 @@ class DistanceMatrix:
                 matrix[:, node] = probe
             self._shift_totals(affected, patches[0].old)
         return self._finish(
-            patches, (("add", u, v),), csr_before, acyclic_before
+            patches, (("add", u, v),), csr_before, (bridge_delta,)
         )
 
     def apply_swap(self, actor: int, old: int, new: int) -> UndoToken:
@@ -663,11 +787,11 @@ class DistanceMatrix:
             csr_before=removal.csr_before,
             version_before=removal.version_before,
             version_after=addition.version_after,
-            acyclic_before=removal.acyclic_before,
+            bridge_deltas=removal.bridge_deltas + addition.bridge_deltas,
         )
 
     def _finish(
-        self, patches, inverse_ops, csr_before, acyclic_before
+        self, patches, inverse_ops, csr_before, bridge_deltas
     ) -> UndoToken:
         token = UndoToken(
             patches=tuple(patches),
@@ -675,7 +799,7 @@ class DistanceMatrix:
             csr_before=csr_before,
             version_before=self._version,
             version_after=self._version + 1,
-            acyclic_before=acyclic_before,
+            bridge_deltas=tuple(bridge_deltas),
         )
         self._version += 1
         return token
@@ -698,6 +822,7 @@ class DistanceMatrix:
                 self._graph.add_edge(u, v)
             else:
                 self._graph.remove_edge(u, v)
+        for delta in reversed(token.bridge_deltas):
+            self._bridges.revert(delta)
         self._csr = token.csr_before
-        self._acyclic = token.acyclic_before
         self._version = token.version_before

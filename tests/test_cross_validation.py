@@ -1,0 +1,523 @@
+"""Randomized cross-validation of the incremental engine + bridge set + Fold.
+
+The lockdown suite for the bridge-aware removal engine: hundreds of seeded
+random add/remove/swap trajectories over mixed graph classes (trees, sparse
+and dense G(n, p) — including disconnected starts — and paper
+constructions), asserting **bit-exact agreement at every step** between
+
+* the in-place :class:`~repro.graphs.distances.DistanceMatrix` and a fresh
+  scipy APSP of the mutated graph,
+* the incrementally maintained ``totals()`` and a fresh row sum,
+* the incrementally maintained bridge set and a from-scratch naive
+  recompute (edge is a bridge iff deleting it disconnects its endpoints —
+  re-derived by BFS per edge, independent of the chain decomposition),
+* per-agent and social costs along ``GameState.apply`` chains and a naive
+  recomputation on a fresh graph copy,
+
+plus spy-counter proofs that the maintenance really is incremental: one
+chain-decomposition build per engine materialisation and zero rebuilds
+along trajectories, bridge removals never entering the BFS-repair path
+(even on cyclic graphs), and the rows-only batch sweep never mutating the
+engine.  The ``_SMALL_N`` dispatch arms and the reservoir-sampling random
+scheduler are cross-validated here too.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.constructions.basic import clique, complete_binary_tree, cycle, star
+from repro.core.moves import AddEdge, RemoveEdge, Swap
+from repro.core.speculative import SpeculativeEvaluator
+from repro.core.state import GameState
+from repro.dynamics.schedulers import random_improvement_scheduler
+from repro.graphs import bridges as bridges_mod
+from repro.graphs import distances as distances_mod
+from repro.graphs.distances import DistanceMatrix, apsp_matrix
+from repro.graphs.generation import random_connected_gnp, random_tree
+
+UNREACHABLE = 10**6
+
+#: trajectories driven by the engine-level fuzzer below (the satellite
+#: floor is 200; class-level cost/undo trajectories come on top)
+FAMILIES = ("tree", "sparse", "dense", "construction", "disconnected")
+SEEDS_PER_FAMILY = 40
+STEPS = 8
+
+
+# -- naive references -------------------------------------------------------
+
+
+def naive_bridges(graph: nx.Graph) -> frozenset:
+    """Bridges recomputed from scratch, one BFS per edge.
+
+    Deliberately the most naive definition — edge ``uv`` is a bridge iff
+    deleting it disconnects ``u`` from ``v`` — sharing no code with the
+    chain decomposition under test.
+    """
+    found = set()
+    for u, v in graph.edges:
+        graph.remove_edge(u, v)
+        connected = nx.has_path(graph, u, v)
+        graph.add_edge(u, v)
+        if not connected:
+            found.add((u, v) if u < v else (v, u))
+    return frozenset(found)
+
+
+def naive_cost(graph: nx.Graph, alpha, agent: int, unreachable: int):
+    """``alpha * deg + dist`` recomputed on a fresh APSP of a fresh copy."""
+    dist = apsp_matrix(graph, unreachable)
+    return alpha * graph.degree(agent) + int(dist[agent].sum())
+
+
+def start_graph(family: str, rng: random.Random) -> nx.Graph:
+    if family == "tree":
+        return random_tree(rng.randint(2, 12), rng)
+    if family == "sparse":
+        return random_connected_gnp(rng.randint(4, 12), 0.2, rng)
+    if family == "dense":
+        return random_connected_gnp(rng.randint(4, 11), 0.6, rng)
+    if family == "construction":
+        pick = rng.randrange(4)
+        if pick == 0:
+            return cycle(rng.randint(3, 10))
+        if pick == 1:
+            return star(rng.randint(3, 10))
+        if pick == 2:
+            return complete_binary_tree(rng.randint(2, 3))
+        # lollipop: a clique with a pendant path — cyclic, with bridges
+        core = rng.randint(3, 5)
+        graph = clique(core)
+        for extra in range(core, core + rng.randint(1, 4)):
+            graph.add_edge(extra - 1, extra)
+        return graph
+    # possibly disconnected G(n, p): exercises sentinel pairs and
+    # disconnect/reconnect sequences from the very first move
+    n = rng.randint(2, 12)
+    return nx.gnp_random_graph(n, rng.random() * 0.4, seed=rng.randrange(10**6))
+
+
+def random_step(dm: DistanceMatrix, graph: nx.Graph, rng: random.Random):
+    """One random legal mutation (add / remove / swap); returns its token.
+
+    Removals draw from *all* edges — bridges included — so trajectories
+    routinely disconnect the graph and later reconnect it.
+    """
+    n = graph.number_of_nodes()
+    edges = list(graph.edges)
+    non_edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if not graph.has_edge(u, v)
+    ]
+    kind = rng.random()
+    if kind < 0.4 and non_edges:
+        return dm.apply_add(*rng.choice(non_edges))
+    if kind < 0.8 and edges:
+        return dm.apply_remove(*rng.choice(edges))
+    if edges:
+        actor, old = rng.choice(edges)
+        partners = [
+            w for w in range(n) if w != actor and not graph.has_edge(actor, w)
+        ]
+        if old in partners:
+            partners.remove(old)
+        if partners:
+            return dm.apply_swap(actor, old, rng.choice(partners))
+    return None
+
+
+# -- the fuzzer: 200 engine-level trajectories ------------------------------
+
+
+class TestTrajectoryCrossValidation:
+    """``len(FAMILIES) * SEEDS_PER_FAMILY`` seeded random trajectories,
+    every step cross-checked against fresh scipy APSP and naive bridges."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_random_trajectories(self, family):
+        offset = FAMILIES.index(family) * 10_000
+        for seed in range(SEEDS_PER_FAMILY):
+            rng = random.Random(offset + seed)
+            graph = start_graph(family, rng)
+            dm = DistanceMatrix(graph, UNREACHABLE)
+            rebuilds_at_start = bridges_mod.BRIDGE_REBUILDS
+            assert dm.bridges() == naive_bridges(graph)
+            for _ in range(STEPS):
+                if random_step(dm, graph, rng) is None:
+                    continue
+                fresh = apsp_matrix(graph, UNREACHABLE)
+                assert (dm.matrix == fresh).all()
+                assert dm.matrix.dtype == np.int64
+                assert (dm.totals() == fresh.sum(axis=1)).all()
+                assert dm.bridges() == naive_bridges(graph)
+                assert dm.is_forest == nx.is_forest(graph)
+            # incrementality: zero chain-decomposition rebuilds after the
+            # one build at materialisation
+            assert bridges_mod.BRIDGE_REBUILDS == rebuilds_at_start
+
+    def test_undo_restores_bridges_and_totals(self):
+        for seed in range(25):
+            rng = random.Random(70_000 + seed)
+            graph = start_graph(FAMILIES[seed % len(FAMILIES)], rng)
+            dm = DistanceMatrix(graph, UNREACHABLE)
+            matrix_before = dm.matrix.copy()
+            totals_before = dm.totals()
+            bridges_before = dm.bridges()
+            forest_before = dm.is_forest
+            edges_before = sorted(map(sorted, graph.edges))
+            tokens = []
+            for _ in range(STEPS):
+                token = random_step(dm, graph, rng)
+                if token is not None:
+                    tokens.append(token)
+            for token in reversed(tokens):
+                dm.undo(token)
+            assert (dm.matrix == matrix_before).all()
+            assert (dm.totals() == totals_before).all()
+            assert dm.bridges() == bridges_before
+            assert dm.is_forest == forest_before
+            assert sorted(map(sorted, graph.edges)) == edges_before
+
+    def test_disconnect_and_reconnect_sequence(self):
+        """A scripted split of a cyclic graph into three pieces and back."""
+        graph = clique(4)
+        graph.add_edges_from([(3, 4), (4, 5), (5, 6)])
+        dm = DistanceMatrix(graph, UNREACHABLE)
+        script = [
+            ("remove", 4, 5),  # bridge: splits off {5, 6}
+            ("remove", 3, 4),  # bridge: isolates {4}
+            ("remove", 0, 1),  # non-bridge inside the clique
+            ("add", 0, 6),  # reconnects {5, 6} the other way around
+            ("add", 1, 4),  # reconnects {4}
+            ("remove", 5, 6),  # bridge again
+            ("add", 2, 6),  # closes a cycle through the old far side
+        ]
+        for op, u, v in script:
+            if op == "add":
+                dm.apply_add(u, v)
+            else:
+                dm.apply_remove(u, v)
+            fresh = apsp_matrix(graph, UNREACHABLE)
+            assert (dm.matrix == fresh).all()
+            assert (dm.totals() == fresh.sum(axis=1)).all()
+            assert dm.bridges() == naive_bridges(graph)
+
+
+# -- GameState cost trajectories --------------------------------------------
+
+
+class TestCostCrossValidation:
+    """Per-agent and social costs along apply chains vs naive recompute."""
+
+    def test_costs_match_naive_along_apply_chains(self):
+        for seed in range(30):
+            rng = random.Random(80_000 + seed)
+            graph = random_connected_gnp(rng.randint(3, 9), 0.35, rng)
+            alpha = Fraction(rng.randint(1, 9), rng.choice((1, 2)))
+            state = GameState(graph, alpha)
+            state.dist  # materialise so apply() hands the engine off
+            for _ in range(6):
+                move = self._random_move(state, rng)
+                if move is None:
+                    break
+                state = state.apply(move)
+                expected_social = Fraction(0)
+                for agent in range(state.n):
+                    expected = naive_cost(
+                        state.graph, alpha, agent, state.m_constant
+                    )
+                    assert state.cost(agent) == expected
+                    expected_social += expected
+                assert state.social_cost() == expected_social
+
+    @staticmethod
+    def _random_move(state: GameState, rng: random.Random):
+        edges = list(state.graph.edges)
+        non_edges = list(state.non_edges())
+        kind = rng.random()
+        if kind < 0.45 and non_edges:
+            return AddEdge(*rng.choice(non_edges))
+        if kind < 0.75 and edges:
+            return RemoveEdge(*rng.choice(edges))
+        if edges:
+            actor, old = rng.choice(edges)
+            partners = [
+                w
+                for w in range(state.n)
+                if w not in (actor, old) and not state.graph.has_edge(actor, w)
+            ]
+            if partners:
+                return Swap(actor=actor, old=old, new=rng.choice(partners))
+        return None
+
+
+# -- spy counters: the maintenance is genuinely incremental -----------------
+
+
+class TestBridgeSpies:
+    def test_exactly_one_build_at_materialisation(self):
+        graph = random_connected_gnp(9, 0.3, random.Random(5))
+        before = bridges_mod.bridge_rebuild_count()
+        dm = DistanceMatrix(graph, UNREACHABLE)
+        assert bridges_mod.bridge_rebuild_count() == before + 1
+        rng = random.Random(6)
+        for _ in range(20):
+            random_step(dm, graph, rng)
+        dm.bridges()
+        dm.is_forest
+        assert bridges_mod.bridge_rebuild_count() == before + 1
+
+    def test_additions_and_bridge_removals_never_sweep(self):
+        """Only non-bridge removals pay the component-local sweep."""
+        graph = clique(4)
+        graph.add_edges_from([(3, 4), (4, 5)])
+        dm = DistanceMatrix(graph, UNREACHABLE)
+        sweeps = bridges_mod.bridge_sweep_count()
+        dm.apply_remove(4, 5)  # bridge: O(1) delta
+        dm.apply_add(4, 5)  # reconnect: O(1) delta
+        dm.apply_add(2, 4)  # closes a cycle: vectorised side test
+        dm.apply_add(0, 5)  # another cycle
+        assert bridges_mod.bridge_sweep_count() == sweeps
+        dm.apply_remove(0, 1)  # non-bridge: the one sweeping case
+        assert bridges_mod.bridge_sweep_count() == sweeps + 1
+
+    def test_bridge_removal_never_enters_bfs_repair(self):
+        """Regression: general-graph bridge removals take the split path."""
+        graph = clique(5)  # cyclic core: is_forest shortcuts cannot apply
+        graph.add_edges_from([(4, 5), (5, 6), (6, 7)])
+        dm = DistanceMatrix(graph, UNREACHABLE)
+        repairs = distances_mod.remove_bfs_repair_count()
+        for u, v in ((6, 7), (5, 6), (4, 5)):
+            dm.apply_remove(u, v)
+            fresh = apsp_matrix(graph, UNREACHABLE)
+            assert (dm.matrix == fresh).all()
+        assert distances_mod.remove_bfs_repair_count() == repairs
+        dm.apply_remove(0, 1)  # non-bridge: must BFS-repair
+        assert distances_mod.remove_bfs_repair_count() == repairs + 1
+
+    def test_speculative_bridge_queries_run_no_bfs(self, monkeypatch):
+        """rows_after_remove & friends on a bridge are pure matrix reads."""
+        graph = clique(4)
+        graph.add_edges_from([(3, 4), (4, 5)])
+        dm = DistanceMatrix(graph, UNREACHABLE)
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard only
+            raise AssertionError("BFS invoked for a bridge removal query")
+
+        monkeypatch.setattr(distances_mod, "_bfs_row_py", boom)
+        monkeypatch.setattr(distances_mod, "_rows_from_csr", boom)
+        reference = graph.copy()
+        reference.remove_edge(3, 4)
+        fresh = apsp_matrix(reference, UNREACHABLE)
+        row_u, row_v = dm.rows_after_remove(3, 4)
+        assert (row_u == fresh[3]).all() and (row_v == fresh[4]).all()
+        assert dm.remove_loss_pair(3, 4) == (
+            int((fresh[3] - dm.matrix[3]).sum()),
+            int((fresh[4] - dm.matrix[4]).sum()),
+        )
+        assert (dm.matrix_after_bridge_removal(3, 4) == fresh).all()
+
+
+# -- Fold: bridge splits on general graphs ----------------------------------
+
+
+class TestFoldBridgeSplits:
+    def test_split_matches_fresh_apsp_on_general_bridges(self):
+        checked = 0
+        for seed in range(40):
+            rng = random.Random(90_000 + seed)
+            graph = start_graph("construction", rng)
+            state = GameState(graph, 2)
+            spec = SpeculativeEvaluator(state)
+            bridges = [
+                edge
+                for edge in graph.edges
+                if spec.is_bridge(*edge) and not nx.is_forest(graph)
+            ]
+            for u, v in bridges:
+                tracked = sorted(
+                    {u, v, *rng.sample(range(state.n), min(3, state.n))}
+                )
+                fold = spec.fold(tracked).split(u, v)
+                reference = graph.copy()
+                reference.remove_edge(u, v)
+                fresh = apsp_matrix(reference, state.m_constant)
+                for node in tracked:
+                    assert fold.dist_total(node) == int(fresh[node].sum())
+                checked += 1
+        assert checked >= 10  # the family really produced cyclic bridges
+
+    def test_split_then_extend_matches_swap(self):
+        graph = clique(4)
+        graph.add_edges_from([(3, 4), (4, 5)])
+        state = GameState(graph, 2)
+        spec = SpeculativeEvaluator(state)
+        # swap the bridge 3-4 over to 0-4: split then extend, rows-only
+        fold = spec.fold((3, 4, 0)).split(3, 4).extend(0, 4)
+        reference = graph.copy()
+        reference.remove_edge(3, 4)
+        reference.add_edge(0, 4)
+        fresh = apsp_matrix(reference, state.m_constant)
+        for node in (3, 4, 0):
+            assert fold.dist_total(node) == int(fresh[node].sum())
+
+
+# -- the rows-only batch sweep ----------------------------------------------
+
+
+class TestBatchSweepCrossValidation:
+    """spec.best must equal the per-candidate speculate loop bit-for-bit,
+    without mutating the engine."""
+
+    def test_best_matches_per_candidate_speculation(self):
+        for seed in range(40):
+            rng = random.Random(60_000 + seed)
+            graph = random_connected_gnp(rng.randint(4, 10), rng.random() * 0.5, rng)
+            state = GameState(graph, Fraction(rng.randint(1, 7), 2))
+            spec = SpeculativeEvaluator(state)
+            pool = self._pool(state, rng)
+            version_before = state.dist._version
+            chosen = spec.best(iter(pool))
+            assert state.dist._version == version_before  # rows-only sweep
+            reference = None
+            for move in pool:
+                evaluation = spec.evaluate(move)
+                if reference is None or (
+                    evaluation.total_delta < reference[1].total_delta
+                ):
+                    reference = (move, evaluation)
+            if reference is None:
+                assert chosen is None
+                continue
+            assert chosen is not None
+            assert chosen[0] == reference[0]
+            assert chosen[1].cost_deltas == reference[1].cost_deltas
+
+    @staticmethod
+    def _pool(state: GameState, rng: random.Random):
+        pool = []
+        for u, v in state.graph.edges:
+            pool.append(RemoveEdge(u, v))
+        for u, v in state.non_edges():
+            pool.append(AddEdge(u, v))
+        for actor, old in list(state.graph.edges):
+            for new in range(state.n):
+                if new not in (actor, old) and not state.graph.has_edge(
+                    actor, new
+                ):
+                    pool.append(Swap(actor=actor, old=old, new=new))
+        rng.shuffle(pool)
+        return pool[:25]
+
+
+# -- _SMALL_N dispatch arms -------------------------------------------------
+
+
+class TestDispatchArmsAgree:
+    """Both removal-repair dispatch arms are bit-exact around the
+    threshold: purely a constant-factor choice (the satellite guard for
+    re-measuring ``_SMALL_N`` on new hardware)."""
+
+    @pytest.mark.parametrize("n_offset", (-2, 2))
+    def test_python_and_scipy_arms_bit_exact(self, monkeypatch, n_offset):
+        n = distances_mod._SMALL_N + n_offset
+        rng = random.Random(42 + n_offset)
+        graph = random_connected_gnp(n, 3.0 / n, rng)
+        step_seeds = [random.Random(7).randint(0, 10**6) + i for i in range(6)]
+        results = {}
+        for arm, forced_small_n in (("python", 10**9), ("scipy", 0)):
+            monkeypatch.setattr(distances_mod, "_SMALL_N", forced_small_n)
+            work = graph.copy()
+            dm = DistanceMatrix(work, UNREACHABLE)
+            trace = []
+            for step_seed in step_seeds:
+                random_step(dm, work, random.Random(step_seed))
+                trace.append(dm.matrix.copy())
+            # speculative queries exercise both query arms too
+            edge = next(iter(work.edges))
+            trace.append(np.stack(dm.rows_after_remove(*edge)))
+            results[arm] = trace
+        for step, (left, right) in enumerate(
+            zip(results["python"], results["scipy"])
+        ):
+            assert (left == right).all(), f"dispatch arms disagree at {step}"
+
+
+# -- reservoir-sampling random scheduler ------------------------------------
+
+
+def _list_based_random_scheduler(moves, rng: random.Random):
+    """The pre-reservoir implementation, kept as the seeded reference."""
+    pool = list(moves)
+    if not pool:
+        return None
+    return pool[rng.randrange(len(pool))]
+
+
+class TestReservoirScheduler:
+    def test_empty_and_singleton_pools(self):
+        rng = random.Random(0)
+        assert random_improvement_scheduler(None, iter(()), rng) is None
+        assert (
+            random_improvement_scheduler(None, iter(("only",)), rng) == "only"
+        )
+
+    def test_deterministic_given_seed(self):
+        pool = list(range(9))
+        for seed in range(50):
+            first = random_improvement_scheduler(
+                None, iter(pool), random.Random(seed)
+            )
+            second = random_improvement_scheduler(
+                None, iter(pool), random.Random(seed)
+            )
+            assert first == second
+
+    def test_seeded_equivalence_with_list_based_reference(self):
+        """Reservoir and list-based draws are equidistributed.
+
+        Individual seeds map to different candidates (the two consume the
+        rng differently), so equivalence is over the seeded ensemble: with
+        3000 seeds and 8 candidates both implementations must hit every
+        candidate within the same tight band around uniform — and the
+        counts are deterministic, so this never flakes.
+        """
+        pool = list(range(8))
+        draws = 3000
+        reservoir = [0] * len(pool)
+        reference = [0] * len(pool)
+        for seed in range(draws):
+            reservoir[
+                random_improvement_scheduler(
+                    None, iter(pool), random.Random(seed)
+                )
+            ] += 1
+            reference[
+                _list_based_random_scheduler(iter(pool), random.Random(seed))
+            ] += 1
+        expected = draws / len(pool)
+        for counts in (reservoir, reference):
+            assert sum(counts) == draws
+            for count in counts:
+                assert abs(count - expected) < 0.25 * expected
+
+    def test_reservoir_consumes_stream_lazily(self):
+        """The generator is drained one item at a time, never listed."""
+        seen = []
+
+        def stream():
+            for item in range(100):
+                seen.append(item)
+                yield item
+
+        chosen = random_improvement_scheduler(None, stream(), random.Random(3))
+        assert chosen in range(100)
+        assert seen == list(range(100))  # uniformity requires full drain
