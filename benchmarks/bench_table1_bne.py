@@ -16,10 +16,15 @@ import random
 
 from repro.analysis.fitting import fit_log_slope
 from repro.analysis.tables import render_table
+from repro.campaigns import (
+    CampaignSpec,
+    CampaignStore,
+    run_campaign,
+    trial_key,
+)
 from repro.constructions.stretched import stretched_tree_star
 from repro.core.concepts import Concept
 from repro.core.state import GameState
-from repro.analysis.poa import empirical_tree_poa
 from repro.equilibria.neighborhood import probe_neighborhood_moves
 from repro.equilibria.pairwise import is_bilateral_greedy_equilibrium
 from repro.verification.lemmas import check_lemma_3_11_condition
@@ -89,15 +94,35 @@ def test_bne_log_regime(benchmark):
     assert fit.r_squared > 0.8
 
 
+#: (n, alpha in the constant regime, alpha in the contrast regime)
+_CONSTANT_REGIME_CASES = ((11, 3, 60), (12, 3, 80), (13, 3, 100))
+
+
 def constant_regime():
-    rows = []
-    for n, alpha_small, alpha_large in ((11, 3, 60), (12, 3, 80), (13, 3, 100)):
-        small = empirical_tree_poa(n, alpha_small, Concept.BGE)
-        large = empirical_tree_poa(n, alpha_large, Concept.BGE)
-        rows.append(
-            [n, alpha_small, float(small.poa), alpha_large, float(large.poa)]
+    # the sweep is a campaign: the same spec shape as the committed
+    # campaigns/cooperation_ladder.json, run against an in-memory store
+    spec = CampaignSpec(
+        name="table1-bne-constant-regime",
+        kind="tree_poa",
+        grids=tuple(
+            {"n": n, "alpha": [small, large], "concept": "BGE"}
+            for n, small, large in _CONSTANT_REGIME_CASES
+        ),
+    )
+    store = CampaignStore(None)
+    stats = run_campaign(spec, store)
+    assert stats.failed == 0, "a constant-regime trial failed"
+
+    def poa(n, alpha):
+        result = store.result(
+            trial_key("tree_poa", {"n": n, "alpha": alpha, "concept": Concept.BGE})
         )
-    return rows
+        return float(result["poa"])
+
+    return [
+        [n, small, poa(n, small), large, poa(n, large)]
+        for n, small, large in _CONSTANT_REGIME_CASES
+    ]
 
 
 def test_bne_constant_regime(benchmark):

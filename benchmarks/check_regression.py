@@ -28,6 +28,7 @@ TOLERANCE = 0.7
 
 #: benchmark file stem -> (top-level key holding named entries, metric)
 TRACKED = {
+    "BENCH_campaign_throughput": ("grids", "speedup"),
     "BENCH_distance_engine": ("families", "speedup"),
     "BENCH_dynamics_rounds": ("rounds", "speedup"),
     "BENCH_equilibria_search": ("workloads", "speedup"),

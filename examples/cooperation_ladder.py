@@ -7,44 +7,69 @@ of all non-isomorphic trees.  The table mirrors Table 1 of the paper at
 laptop scale: PS is the worst, swaps help, and 3-coalitions pin the PoA to
 a constant.
 
+The sweep itself is a campaign (:mod:`repro.campaigns`): this script
+builds the spec in code and runs it against an in-memory store, and is
+output-identical to the committed ``campaigns/cooperation_ladder.json``
+run through ``python -m repro.campaigns run`` — which also gives you
+multiprocessing workers and kill-and-resume for free.
+
 Run:  python examples/cooperation_ladder.py [n]
 """
 
 import sys
 
-from repro.analysis.poa import empirical_tree_poa
-from repro.analysis.tables import render_table
-from repro.core.concepts import Concept
+from repro.campaigns import (
+    CampaignSpec,
+    CampaignStore,
+    render_report,
+    run_campaign,
+)
+
+
+def ladder_spec(n: int = 9, alphas=(2, 4, 8, 16, 32, 64)) -> CampaignSpec:
+    """The cooperation-ladder sweep as a declarative campaign."""
+    ladder = [
+        ("PoA(PS)", "PS", None),
+        ("PoA(BSwE)", "BSWE", None),
+        ("PoA(BGE)", "BGE", None),
+        ("PoA(3-BSE)", "BGE", 3),
+    ]
+    return CampaignSpec(
+        name="cooperation-ladder",
+        kind="tree_poa",
+        grids=tuple(
+            {"n": n, "alpha": list(alphas), "concept": concept}
+            | ({} if k is None else {"k": k})
+            for _, concept, k in ladder
+        ),
+        report={
+            "reducer": "poa_table",
+            "options": {
+                "n": n,
+                "alphas": list(alphas),
+                "title": (
+                    "Exact tree PoA by cooperation level (all trees, n={n})"
+                ),
+                "columns": [
+                    {"header": header, "concept": concept}
+                    | ({} if k is None else {"k": k})
+                    for header, concept, k in ladder
+                ],
+            },
+            "footer": (
+                "Paper, Table 1: PS = Theta(min(sqrt a, n/sqrt a)); "
+                "BSwE, BGE = Theta(log a); 3-BSE = Theta(1)."
+            ),
+        },
+    )
 
 
 def main(n: int = 9) -> None:
-    alphas = (2, 4, 8, 16, 32, 64)
-    rows = []
-    for alpha in alphas:
-        ps = empirical_tree_poa(n, alpha, Concept.PS)
-        bswe = empirical_tree_poa(n, alpha, Concept.BSWE)
-        bge = empirical_tree_poa(n, alpha, Concept.BGE)
-        three = empirical_tree_poa(n, alpha, Concept.BGE, k=3)
-        rows.append(
-            [
-                alpha,
-                float(ps.poa) if ps.poa else "-",
-                float(bswe.poa) if bswe.poa else "-",
-                float(bge.poa) if bge.poa else "-",
-                float(three.poa) if three.poa else "-",
-            ]
-        )
-    print(
-        render_table(
-            ["alpha", "PoA(PS)", "PoA(BSwE)", "PoA(BGE)", "PoA(3-BSE)"],
-            rows,
-            title=f"Exact tree PoA by cooperation level (all trees, n={n})",
-        )
-    )
-    print(
-        "\nPaper, Table 1: PS = Theta(min(sqrt a, n/sqrt a)); "
-        "BSwE, BGE = Theta(log a); 3-BSE = Theta(1)."
-    )
+    spec = ladder_spec(n)
+    store = CampaignStore(None)  # ephemeral in-memory store
+    stats = run_campaign(spec, store)
+    assert stats.failed == 0, "a ladder trial failed"
+    print(render_report(spec, store))
 
 
 if __name__ == "__main__":

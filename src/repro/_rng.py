@@ -5,14 +5,27 @@ Every randomized entry point (``probe_neighborhood_moves``,
 examples) accepts either a ready ``random.Random``, an integer seed, or
 ``None``; :func:`coerce_rng` normalises all three so probe verdicts are
 reproducible end-to-end from a single seed.
+
+The campaign subsystem adds a second requirement: a sweep sharded over a
+``multiprocessing`` pool must produce *bit-identical* results at any
+worker count, so per-trial seeds must be pure functions of the trial's
+identity — never ambient state, worker id or execution order.  Two
+derivations serve that: :func:`trial_seed` is the historical
+``convergence_study`` formula (used by the ``dynamics`` runner so
+campaign trials reproduce the in-process ensemble bit-for-bit), and
+:func:`derive_seed` / :func:`spawn_rng` hash a base seed plus an
+arbitrary identity (strings, ints, Fractions — anything with a stable
+``repr``) into a stable 64-bit seed, for runner kinds whose streams
+must differ across more axes than a seed index.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Union
 
-__all__ = ["RngLike", "coerce_rng"]
+__all__ = ["RngLike", "coerce_rng", "derive_seed", "spawn_rng", "trial_seed"]
 
 #: A ``random.Random``, an integer seed, or ``None`` (default seed 0).
 RngLike = Union[random.Random, int, None]
@@ -37,3 +50,34 @@ def coerce_rng(rng: RngLike, default_seed: int = DEFAULT_SEED) -> random.Random:
     raise TypeError(
         f"cannot interpret {rng!r} as a random.Random or integer seed"
     )
+
+
+def derive_seed(base_seed: int, *components) -> int:
+    """A stable 64-bit seed for one unit of work inside a seeded sweep.
+
+    Hashes ``(base_seed, *components)`` through BLAKE2b so that distinct
+    trials get statistically independent streams while the mapping stays
+    a pure function of the trial's identity — no ambient state, so a
+    sharded executor reproduces the serial run bit-for-bit at any worker
+    count.  Components must have a stable ``repr`` (ints, strings,
+    ``Fraction``, tuples thereof).
+    """
+    payload = repr((base_seed,) + components).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def spawn_rng(base_seed: int, *components) -> random.Random:
+    """``coerce_rng(derive_seed(base_seed, *components))`` in one call."""
+    return coerce_rng(derive_seed(base_seed, *components))
+
+
+def trial_seed(base_seed: int, index: int) -> int:
+    """The per-run seed of a seeded ensemble (``base * 100_003 + index``).
+
+    This is the historical :func:`repro.dynamics.convergence\
+.convergence_study` formula, kept as the shared definition so the
+    campaign subsystem's per-trial dynamics runs reproduce the in-process
+    ensemble bit-for-bit.
+    """
+    return base_seed * 100_003 + index

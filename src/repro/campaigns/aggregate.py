@@ -1,0 +1,254 @@
+"""Reducers: roll a campaign's trial records up into paper tables.
+
+A reducer maps ``(spec, store, options)`` to the rendered report text,
+reusing :mod:`repro.analysis.tables` so campaign reports read exactly
+like the hand-rolled benchmark output they replace.  Reducers iterate in
+*spec expansion order* (never store insertion order), so the report is
+byte-identical no matter how many workers produced the records or in
+which order they landed.
+
+Built-in reducers:
+
+``poa_table``
+    Table-1-style rows: one row per alpha, one column per solution
+    concept, cells the exact worst-case PoA of the matching ``tree_poa``
+    / ``graph_poa`` trial.  This is the cooperation-ladder rendering.
+``convergence``
+    Groups ``dynamics`` trials by everything but their seed ``index``
+    and reduces each group to a
+    :class:`~repro.dynamics.convergence.ConvergenceStats` — numerically
+    identical to an in-process
+    :func:`~repro.dynamics.convergence.convergence_study` with the same
+    parameters.
+``trial_table``
+    A flat listing of every trial and its status — the fallback report
+    for any campaign shape.
+"""
+
+from __future__ import annotations
+
+import statistics
+from fractions import Fraction
+from typing import Any, Callable, Mapping
+
+from repro._alpha import as_alpha
+from repro.analysis.tables import render_table
+from repro.campaigns.spec import CampaignSpec, Trial, trial_key
+from repro.campaigns.store import CampaignStore
+from repro.core.concepts import Concept
+from repro.dynamics.convergence import ConvergenceStats
+
+__all__ = [
+    "REDUCERS",
+    "convergence_stats",
+    "reduce_convergence",
+    "reduce_poa_table",
+    "reduce_trial_table",
+    "render_report",
+]
+
+Reducer = Callable[[CampaignSpec, CampaignStore, Mapping[str, Any]], str]
+
+
+def _concept_of(value) -> Concept:
+    if isinstance(value, Concept):
+        return value
+    return Concept[value] if value in Concept.__members__ else Concept(value)
+
+
+def reduce_poa_table(
+    spec: CampaignSpec, store: CampaignStore, options: Mapping[str, Any]
+) -> str:
+    """Alpha-by-concept PoA table (the cooperation-ladder rendering).
+
+    Options: ``n`` (int), ``alphas`` (list), ``columns`` (list of
+    ``{"header", "concept", "k"?}``), optional ``kind`` (defaults to the
+    campaign kind) and ``title`` (may reference ``{n}``).  Cells of
+    trials not yet in the store render as ``?``.
+    """
+    n = int(options["n"])
+    kind = options.get("kind", spec.kind)
+    alphas = [as_alpha(a) for a in options["alphas"]]
+    columns = list(options["columns"])
+    title = options.get(
+        "title", "Exact tree PoA by cooperation level (all trees, n={n})"
+    ).format(n=n)
+
+    rows = []
+    for alpha in alphas:
+        cells: list[Any] = [alpha]
+        for column in columns:
+            params: dict[str, Any] = {
+                "n": n,
+                "alpha": alpha,
+                "concept": _concept_of(column["concept"]),
+            }
+            if column.get("k") is not None:
+                params["k"] = int(column["k"])
+            result = store.result(trial_key(kind, params))
+            if result is None:
+                cells.append("?")
+            else:
+                poa = result["poa"]
+                cells.append(float(poa) if poa else "-")
+        rows.append(cells)
+    headers = ["alpha"] + [column["header"] for column in columns]
+    return render_table(headers, rows, title=title)
+
+
+def _group_identity(trial: Trial) -> tuple:
+    return tuple(
+        (name, value) for name, value in trial.items if name != "index"
+    )
+
+
+def convergence_stats(
+    spec: CampaignSpec, store: CampaignStore
+) -> list[tuple[dict[str, Any], ConvergenceStats]]:
+    """Per-group :class:`ConvergenceStats` of a campaign's dynamics trials.
+
+    Groups by every parameter except the seed ``index``; within a group,
+    runs aggregate in index order, which makes the float means identical
+    to :func:`repro.dynamics.convergence.convergence_study` on the same
+    parameters.  Trials without an ``ok`` record are left out (their
+    group's ``runs`` shrinks accordingly); a group with no records is
+    dropped.
+    """
+    groups: dict[tuple, list[tuple[int, dict[str, Any]]]] = {}
+    order: list[tuple] = []
+    for trial in spec.trials():
+        if trial.kind != "dynamics":
+            continue
+        identity = _group_identity(trial)
+        if identity not in groups:
+            groups[identity] = []
+            order.append(identity)
+        result = store.result(trial.key)
+        if result is not None:
+            groups[identity].append((int(trial.params["index"]), result))
+
+    out = []
+    for identity in order:
+        runs = sorted(groups[identity])
+        if not runs:
+            continue
+        params = dict(identity)
+        rhos = [result["final_rho"] for _, result in runs]
+        out.append(
+            (
+                params,
+                ConvergenceStats(
+                    concept=_concept_of(params["concept"]),
+                    runs=len(runs),
+                    converged=sum(r["converged"] for _, r in runs),
+                    cycled=sum(r["cycled"] for _, r in runs),
+                    mean_rounds=statistics.fmean(
+                        r["rounds"] for _, r in runs
+                    ),
+                    mean_final_rho=statistics.fmean(
+                        float(rho) for rho in rhos
+                    ),
+                    worst_final_rho=float(max(rhos)),
+                    mean_start_instability=statistics.fmean(
+                        float(r["start_instability"]) for _, r in runs
+                    ),
+                ),
+            )
+        )
+    return out
+
+
+def reduce_convergence(
+    spec: CampaignSpec, store: CampaignStore, options: Mapping[str, Any]
+) -> str:
+    """Convergence-stats table, one row per dynamics group."""
+    title = options.get(
+        "title", f"Dynamics convergence — campaign {spec.name}"
+    )
+    rows = []
+    for params, stats in convergence_stats(spec, store):
+        rows.append(
+            [
+                str(_concept_of(params["concept"])),
+                params.get("n", "-"),
+                params.get("alpha", "-"),
+                params.get("scheduler", "first"),
+                stats.runs,
+                stats.converged,
+                stats.cycled,
+                stats.mean_rounds,
+                stats.mean_final_rho,
+                stats.worst_final_rho,
+                stats.mean_start_instability,
+            ]
+        )
+    headers = [
+        "concept", "n", "alpha", "scheduler", "runs", "conv", "cyc",
+        "mean rounds", "mean rho", "worst rho", "start beta",
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def reduce_trial_table(
+    spec: CampaignSpec, store: CampaignStore, options: Mapping[str, Any]
+) -> str:
+    """Flat per-trial listing: parameters, status, headline result."""
+    rows = []
+    for trial in spec.trials():
+        record = store.record_for(trial.key)
+        status = "pending" if record is None else record["status"]
+        headline = ""
+        if record is not None and record["status"] == "ok":
+            result = store.result(trial.key)
+            # sort: live records carry runner insertion order, reopened
+            # ones the JSONL's sorted keys — the report must not differ
+            headline = "  ".join(
+                f"{name}={_fmt(value)}"
+                for name, value in sorted(result.items())
+            )
+        elif record is not None:
+            lines = (record.get("error") or "").strip().splitlines()
+            headline = lines[-1] if lines else "error"
+        rows.append(
+            [
+                trial.kind,
+                " ".join(f"{k}={_fmt(v)}" for k, v in trial.items),
+                status,
+                headline,
+            ]
+        )
+    title = options.get("title", f"Campaign {spec.name}: trials")
+    return render_table(["kind", "params", "status", "result"], rows, title)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, Concept):
+        return value.name
+    if isinstance(value, Fraction) and value.denominator == 1:
+        return str(value.numerator)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+REDUCERS: dict[str, Reducer] = {
+    "poa_table": reduce_poa_table,
+    "convergence": reduce_convergence,
+    "trial_table": reduce_trial_table,
+}
+
+
+def render_report(spec: CampaignSpec, store: CampaignStore) -> str:
+    """Render the campaign's configured report (``spec.report``)."""
+    reducer_name = spec.report.get("reducer", "trial_table")
+    try:
+        reducer = REDUCERS[reducer_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown reducer {reducer_name!r}; known: {sorted(REDUCERS)}"
+        ) from None
+    text = reducer(spec, store, spec.report.get("options", {}))
+    footer = spec.report.get("footer")
+    if footer:
+        text += "\n\n" + footer
+    return text

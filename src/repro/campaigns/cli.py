@@ -1,0 +1,168 @@
+"""``python -m repro.campaigns`` — run, resume and report campaigns.
+
+Subcommands::
+
+    run SPEC [--store DIR] [--workers N] [--chunk-size N]
+             [--max-trials N] [--no-retry-errors] [--quiet]
+    status STORE
+    report STORE [--out FILE]
+
+``run`` is always a *resume*: trials the store has already completed are
+skipped, so interrupting a campaign (Ctrl-C, SIGKILL, a dead machine)
+costs only the unfinished trials.  The default store directory is
+``.campaigns/<campaign name>`` under the current directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.campaigns.aggregate import render_report
+from repro.campaigns.executor import RunStats, TrialOutcome, run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import CampaignStore
+
+__all__ = ["main"]
+
+
+def _default_store(spec: CampaignSpec) -> Path:
+    return Path(".campaigns") / spec.name
+
+
+def _open_store_dir(path: str) -> CampaignStore:
+    store = CampaignStore(path)
+    if store.load_spec() is None:
+        raise SystemExit(
+            f"{path} is not a campaign store (no spec.json); "
+            "run the campaign first"
+        )
+    return store
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.load(args.spec)
+    store_dir = Path(args.store) if args.store else _default_store(spec)
+    stream = sys.stderr if args.quiet else sys.stdout
+
+    def progress(outcome: TrialOutcome, stats: RunStats) -> None:
+        if args.quiet:
+            return
+        done = stats.skipped + stats.executed
+        flag = "ok" if outcome.status == "ok" else "ERR"
+        label = " ".join(f"{k}={v}" for k, v in sorted(outcome.params.items()))
+        print(
+            f"[{done}/{stats.total}] {flag} {outcome.kind} {label} "
+            f"({outcome.elapsed:.2f}s)",
+            file=stream,
+            flush=True,
+        )
+
+    with CampaignStore(store_dir) as store:
+        try:
+            stats = run_campaign(
+                spec,
+                store,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                max_trials=args.max_trials,
+                retry_errors=not args.no_retry_errors,
+                progress=progress,
+            )
+        except KeyboardInterrupt:
+            print(
+                "\ninterrupted — completed trials are saved; "
+                "re-run to resume",
+                file=sys.stderr,
+            )
+            return 130
+    print(
+        f"campaign {spec.name}: {stats.total} trials, "
+        f"{stats.skipped} already done, {stats.executed} run "
+        f"({stats.failed} failed), {stats.remaining} remaining, "
+        f"{stats.elapsed:.2f}s",
+        file=stream,
+    )
+    if stats.failed:
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = _open_store_dir(args.store)
+    spec = store.load_spec()
+    trials = spec.trials()
+    completed = store.completed_keys()
+    errors = store.error_keys()
+    done = sum(1 for trial in trials if trial.key in completed)
+    failed = sum(1 for trial in trials if trial.key in errors)
+    pending = len(trials) - done - failed
+    print(f"campaign:  {spec.name}")
+    if spec.description:
+        print(f"about:     {spec.description}")
+    print(f"store:     {store.root}")
+    print(f"trials:    {len(trials)}")
+    print(f"completed: {done}")
+    print(f"errored:   {failed}")
+    print(f"pending:   {pending}")
+    if store.corrupt_lines:
+        print(f"torn results lines ignored: {store.corrupt_lines}")
+    return 0 if pending == 0 and failed == 0 else 3
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = _open_store_dir(args.store)
+    spec = store.load_spec()
+    text = render_report(spec, store)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaigns",
+        description="Declarative, parallel, resumable experiment campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run (or resume) a campaign spec")
+    run.add_argument("spec", help="path to a campaign spec JSON file")
+    run.add_argument("--store", help="result store directory")
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1 = in-process serial)",
+    )
+    run.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="trials per worker chunk (default: auto)",
+    )
+    run.add_argument(
+        "--max-trials", type=int, default=None,
+        help="execute at most this many pending trials, then stop",
+    )
+    run.add_argument(
+        "--no-retry-errors", action="store_true",
+        help="also skip trials whose previous attempt errored",
+    )
+    run.add_argument("--quiet", action="store_true")
+    run.set_defaults(fn=_cmd_run)
+
+    status = sub.add_parser("status", help="summarise a campaign store")
+    status.add_argument("store", help="campaign store directory")
+    status.set_defaults(fn=_cmd_status)
+
+    report = sub.add_parser(
+        "report", help="render a completed campaign's report"
+    )
+    report.add_argument("store", help="campaign store directory")
+    report.add_argument("--out", help="also write the report to this file")
+    report.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

@@ -1,0 +1,198 @@
+"""Sharded campaign execution over a ``multiprocessing`` pool.
+
+The executor expands a :class:`~repro.campaigns.spec.CampaignSpec`,
+drops every trial the store has already completed (resumability),
+partitions the remainder into contiguous chunks, and runs the chunks
+either in-process (``workers <= 1``) or on a process pool, streaming
+finished records into the store as each chunk lands.
+
+Failure model:
+
+* a trial that raises is recorded as an ``error`` record — never fatal
+  to the campaign;
+* a *worker process* that dies (OOM-kill, segfault, pool breakage) makes
+  its chunk's future raise; the parent falls back to re-running that
+  chunk serially in-process, trial-by-trial, so one bad worker cannot
+  lose work or wedge the run;
+* a killed *campaign* (SIGKILL mid-run) leaves at most one torn JSONL
+  line, which the store tolerates; the next run skips everything with an
+  ``ok`` record and re-executes only the rest.
+
+Determinism: trial results depend only on the trial's parameters and the
+campaign's base seed (see :mod:`repro.campaigns.runners`), and
+aggregation orders by spec expansion rather than store insertion, so the
+same campaign is bit-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.campaigns.runners import execute_trial
+from repro.campaigns.spec import CampaignSpec, Trial
+from repro.campaigns.store import CampaignStore
+
+__all__ = ["RunStats", "TrialOutcome", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One finished trial, as produced by a worker."""
+
+    key: str
+    kind: str
+    params: dict[str, Any]
+    status: str  # "ok" | "error"
+    result: dict[str, Any] | None
+    error: str | None
+    elapsed: float
+
+
+@dataclass
+class RunStats:
+    """What one ``run_campaign`` invocation did."""
+
+    total: int = 0  # trials in the expanded campaign
+    skipped: int = 0  # already completed in the store (resumed past)
+    executed: int = 0  # run this invocation (ok + failed)
+    failed: int = 0  # error records written this invocation
+    remaining: int = 0  # left pending (max_trials cut the run short)
+    fallbacks: int = 0  # chunks re-run in-parent after a worker died
+    elapsed: float = 0.0
+    outcomes: list[TrialOutcome] = field(default_factory=list)
+
+    @property
+    def completed_after(self) -> int:
+        return self.skipped + self.executed - self.failed
+
+
+ProgressFn = Callable[[TrialOutcome, "RunStats"], None]
+
+
+def _run_trial(trial: Trial, base_seed: int) -> TrialOutcome:
+    started = time.perf_counter()
+    try:
+        result = execute_trial(trial.kind, trial.params, base_seed)
+        status, error = "ok", None
+    except Exception:
+        result, status = None, "error"
+        error = traceback.format_exc(limit=20)
+    return TrialOutcome(
+        key=trial.key,
+        kind=trial.kind,
+        params=trial.params,
+        status=status,
+        result=result,
+        error=error,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+def _run_chunk(trials: Sequence[Trial], base_seed: int) -> list[TrialOutcome]:
+    """Worker entry point: run one chunk, every trial individually guarded."""
+    return [_run_trial(trial, base_seed) for trial in trials]
+
+
+def _chunked(trials: Sequence[Trial], size: int) -> list[list[Trial]]:
+    return [list(trials[i : i + size]) for i in range(0, len(trials), size)]
+
+
+def _default_chunk_size(pending: int, workers: int) -> int:
+    # aim for ~4 chunks per worker so a crashed worker loses little and
+    # stragglers balance, without paying per-trial IPC for tiny trials
+    return max(1, min(32, -(-pending // (workers * 4))))
+
+
+def _record(store: CampaignStore, outcome: TrialOutcome) -> None:
+    store.append(
+        key=outcome.key,
+        kind=outcome.kind,
+        params=outcome.params,
+        status=outcome.status,
+        result=outcome.result,
+        error=outcome.error,
+        elapsed=outcome.elapsed,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: CampaignStore | None = None,
+    workers: int = 1,
+    chunk_size: int | None = None,
+    max_trials: int | None = None,
+    retry_errors: bool = True,
+    progress: ProgressFn | None = None,
+) -> RunStats:
+    """Run (or resume) a campaign; returns what this invocation did.
+
+    ``store=None`` runs against an ephemeral in-memory store (the
+    returned :attr:`RunStats.outcomes` still carry every result).
+    ``max_trials`` caps how many pending trials this invocation executes
+    — the deterministic stand-in for "the run was interrupted" that the
+    resumability tests and the CI smoke job use.  ``retry_errors=False``
+    also skips trials whose previous attempt errored.
+    """
+    if store is None:
+        store = CampaignStore(None)
+    store.save_spec(spec)
+
+    stats = RunStats()
+    started = time.perf_counter()
+    trials = spec.trials()
+    stats.total = len(trials)
+
+    skip = set(store.completed_keys())
+    if not retry_errors:
+        skip |= set(store.error_keys())
+    pending = [trial for trial in trials if trial.key not in skip]
+    stats.skipped = stats.total - len(pending)
+
+    if max_trials is not None:
+        stats.remaining = max(0, len(pending) - max_trials)
+        pending = pending[:max_trials]
+
+    def land(outcome: TrialOutcome) -> None:
+        _record(store, outcome)
+        stats.executed += 1
+        if outcome.status != "ok":
+            stats.failed += 1
+        stats.outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome, stats)
+
+    if workers <= 1 or len(pending) <= 1:
+        for trial in pending:
+            land(_run_trial(trial, spec.seed))
+    else:
+        size = chunk_size or _default_chunk_size(len(pending), workers)
+        chunks = _chunked(pending, size)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_chunk, chunk, spec.seed): chunk
+                for chunk in chunks
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    chunk = futures[future]
+                    try:
+                        outcomes = future.result()
+                    except Exception:
+                        # the worker process died (not a trial error —
+                        # those are caught inside the chunk): recover by
+                        # re-running this chunk in-parent
+                        stats.fallbacks += 1
+                        outcomes = _run_chunk(chunk, spec.seed)
+                    for outcome in outcomes:
+                        land(outcome)
+
+    stats.elapsed = time.perf_counter() - started
+    return stats

@@ -1,0 +1,163 @@
+"""Trial runners: how one cell of a campaign grid is executed.
+
+Each runner is a plain function ``(params, base_seed) -> result dict``
+registered under a *kind* name; :func:`execute_trial` dispatches a
+:class:`~repro.campaigns.spec.Trial` to its runner inside a worker
+process.  Results must be exact (``Fraction`` where the quantity is
+exact) and JSON-encodable through
+:func:`repro.campaigns.spec.to_jsonable`.
+
+Determinism contract: a runner's randomness, if any, is derived from the
+campaign's base seed and the trial's own parameters through
+:mod:`repro._rng` — never from ambient state — so a sharded pool
+reproduces the serial run bit-for-bit at any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro._rng import coerce_rng, trial_seed
+from repro.core.concepts import Concept
+
+__all__ = ["RUNNERS", "execute_trial", "runner", "scheduler_by_name"]
+
+Runner = Callable[[Mapping[str, Any], int], dict[str, Any]]
+
+RUNNERS: dict[str, Runner] = {}
+
+
+def runner(kind: str) -> Callable[[Runner], Runner]:
+    """Register a trial runner under ``kind``."""
+
+    def register(fn: Runner) -> Runner:
+        if kind in RUNNERS:
+            raise ValueError(f"duplicate runner kind {kind!r}")
+        RUNNERS[kind] = fn
+        return fn
+
+    return register
+
+
+def execute_trial(
+    kind: str, params: Mapping[str, Any], base_seed: int
+) -> dict[str, Any]:
+    """Run one trial and return its result dict (raises on failure)."""
+    try:
+        run = RUNNERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown trial kind {kind!r}; known: {sorted(RUNNERS)}"
+        ) from None
+    return run(params, base_seed)
+
+
+def scheduler_by_name(name: str):
+    """Dynamics scheduler lookup by short name (first / random / best)."""
+    from repro.dynamics.schedulers import (
+        best_improvement_scheduler,
+        first_improvement_scheduler,
+        random_improvement_scheduler,
+    )
+
+    table = {
+        "first": first_improvement_scheduler,
+        "random": random_improvement_scheduler,
+        "best": best_improvement_scheduler,
+    }
+    try:
+        return table[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; known: {sorted(table)}"
+        ) from None
+
+
+def _concept(params: Mapping[str, Any]) -> Concept:
+    concept = params["concept"]
+    if not isinstance(concept, Concept):
+        raise TypeError(f"concept param must be a Concept, got {concept!r}")
+    return concept
+
+
+@runner("tree_poa")
+def run_tree_poa(params: Mapping[str, Any], base_seed: int) -> dict[str, Any]:
+    """Exact worst-case PoA over all non-isomorphic trees (one cell of
+    Table 1); deterministic, so the base seed is unused."""
+    from repro.analysis.poa import empirical_tree_poa
+
+    result = empirical_tree_poa(
+        int(params["n"]),
+        params["alpha"],
+        _concept(params),
+        k=params.get("k"),
+    )
+    return {
+        "poa": result.poa,
+        "equilibria": result.equilibria,
+        "candidates": result.candidates,
+    }
+
+
+@runner("graph_poa")
+def run_graph_poa(params: Mapping[str, Any], base_seed: int) -> dict[str, Any]:
+    """Exact worst-case PoA over all connected graphs (``n <= 7``)."""
+    from repro.analysis.poa import empirical_poa
+
+    result = empirical_poa(
+        int(params["n"]),
+        params["alpha"],
+        _concept(params),
+        k=params.get("k"),
+    )
+    return {
+        "poa": result.poa,
+        "equilibria": result.equilibria,
+        "candidates": result.candidates,
+    }
+
+
+@runner("dynamics")
+def run_dynamics_trial(
+    params: Mapping[str, Any], base_seed: int
+) -> dict[str, Any]:
+    """One seeded improving-move dynamics run from a random tree.
+
+    Mirrors one index of
+    :func:`repro.dynamics.convergence.convergence_study` exactly: the
+    per-run rng is ``coerce_rng(trial_seed(base_seed, index))`` (the
+    study's historical formula), the start tree is drawn first, then the
+    stability factor of the start is measured, then the dynamics run —
+    so a campaign over ``index: range(runs)`` aggregates to the very
+    same :class:`~repro.dynamics.convergence.ConvergenceStats`.
+    """
+    from repro.core.state import GameState
+    from repro.dynamics.engine import run_dynamics
+    from repro.equilibria.approximate import stability_factor
+    from repro.graphs.generation import random_tree
+
+    concept = _concept(params)
+    n = int(params["n"])
+    index = int(params["index"])
+    max_rounds = int(params.get("max_rounds", 2000))
+    scheduler = scheduler_by_name(params.get("scheduler", "first"))
+
+    rng = coerce_rng(trial_seed(base_seed, index))
+    start = random_tree(n, rng)
+    start_state = GameState(start, params["alpha"])
+    instability = stability_factor(start_state, concept)
+    result = run_dynamics(
+        start,
+        params["alpha"],
+        concept,
+        scheduler=scheduler,
+        max_rounds=max_rounds,
+        rng=rng,
+    )
+    return {
+        "converged": bool(result.converged),
+        "cycled": bool(result.cycled),
+        "rounds": int(result.rounds),
+        "final_rho": result.final.rho(),
+        "start_instability": instability,
+    }

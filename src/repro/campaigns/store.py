@@ -1,0 +1,199 @@
+"""Append-only, content-addressed result store for campaigns.
+
+Layout of a store directory::
+
+    spec.json       the campaign spec that produced the results
+    results.jsonl   one JSON record per finished trial, append-only
+
+Each record carries the trial's content hash
+(:func:`repro.campaigns.spec.trial_key`), its exactly-encoded parameters
+and result (``Fraction`` values survive as tagged ``p/q`` strings —
+never floats), a status (``ok`` / ``error``) and the wall time.  The
+*manifest* is the key -> record map rebuilt by scanning the JSONL on
+open; a campaign run consults it to skip every trial that already has an
+``ok`` record, which is what makes runs resumable: kill a campaign at
+any point and the next run re-executes only what is missing.
+
+Robustness: a SIGKILL mid-append can leave one torn final line.  The
+scanner tolerates undecodable lines (counts them in
+:attr:`CampaignStore.corrupt_lines`) instead of failing, so the affected
+trial simply re-runs on resume.  Within one store, an ``ok`` record is
+final — appending a second ``ok`` for the same key is a bug and raises —
+while an errored trial may later gain an ``ok`` record on a retrying
+resume (the manifest always prefers ``ok``).
+
+``root=None`` gives an ephemeral in-memory store with the identical
+interface, used by the examples and the ported benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Iterator, Mapping
+
+from repro.campaigns.spec import CampaignSpec, from_jsonable, to_jsonable
+
+__all__ = ["CampaignStore", "TrialRecord"]
+
+_RESULTS_NAME = "results.jsonl"
+_SPEC_NAME = "spec.json"
+
+#: A decoded results line: key, kind, params, status, result, error, elapsed.
+TrialRecord = dict[str, Any]
+
+
+class CampaignStore:
+    """Manifest + append-only JSONL persistence for one campaign."""
+
+    def __init__(self, root: str | Path | None):
+        self.root = Path(root) if root is not None else None
+        self._ok: dict[str, TrialRecord] = {}
+        self._errors: dict[str, TrialRecord] = {}
+        self.corrupt_lines = 0
+        self._handle: IO[str] | None = None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._scan()
+
+    # -- scanning / manifest -------------------------------------------------
+
+    @property
+    def results_path(self) -> Path | None:
+        return None if self.root is None else self.root / _RESULTS_NAME
+
+    @property
+    def spec_path(self) -> Path | None:
+        return None if self.root is None else self.root / _SPEC_NAME
+
+    def _scan(self) -> None:
+        path = self.results_path
+        if path is None or not path.exists():
+            return
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    status = record["status"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # torn final line from a killed run: the trial it
+                    # belonged to simply re-runs on resume
+                    self.corrupt_lines += 1
+                    continue
+                if status == "ok":
+                    self._ok[key] = record
+                else:
+                    self._errors[key] = record
+
+    def completed_keys(self) -> frozenset:
+        """Keys with a successful record (skipped on resume)."""
+        return frozenset(self._ok)
+
+    def error_keys(self) -> frozenset:
+        """Keys whose latest attempt failed (retried on resume by default)."""
+        return frozenset(self._errors) - frozenset(self._ok)
+
+    def __len__(self) -> int:
+        return len(self._ok)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._ok
+
+    def result(self, key: str) -> dict[str, Any] | None:
+        """The decoded (exact) result dict of an ``ok`` trial, else None."""
+        record = self._ok.get(key)
+        if record is None:
+            return None
+        return from_jsonable(record["result"])
+
+    def record_for(self, key: str) -> TrialRecord | None:
+        return self._ok.get(key) or self._errors.get(key)
+
+    def ok_records(self) -> Iterator[TrialRecord]:
+        return iter(self._ok.values())
+
+    # -- appending -----------------------------------------------------------
+
+    def append(
+        self,
+        key: str,
+        kind: str,
+        params: Mapping[str, Any],
+        status: str,
+        result: Mapping[str, Any] | None,
+        error: str | None,
+        elapsed: float,
+    ) -> TrialRecord:
+        """Append one finished-trial record (flushed to disk immediately)."""
+        if status not in ("ok", "error"):
+            raise ValueError(f"bad record status {status!r}")
+        if status == "ok" and key in self._ok:
+            raise ValueError(f"duplicate ok record for trial {key}")
+        record: TrialRecord = {
+            "key": key,
+            "kind": kind,
+            "params": to_jsonable(dict(params)),
+            "status": status,
+            "result": None if result is None else to_jsonable(dict(result)),
+            "error": error,
+            "elapsed": elapsed,
+        }
+        if self.root is not None:
+            if self._handle is None:
+                path = self.results_path
+                # a SIGKILLed run can leave a torn final line with no
+                # newline; terminate it before appending so the next
+                # record starts on its own line instead of gluing onto
+                # the garbage
+                needs_newline = False
+                if path.exists() and path.stat().st_size > 0:
+                    with path.open("rb") as probe:
+                        probe.seek(-1, 2)
+                        needs_newline = probe.read(1) != b"\n"
+                self._handle = path.open("a", encoding="utf-8")
+                if needs_newline:
+                    self._handle.write("\n")
+            self._handle.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._handle.flush()
+        if status == "ok":
+            self._ok[key] = record
+        else:
+            self._errors[key] = record
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the spec ------------------------------------------------------------
+
+    def save_spec(self, spec: CampaignSpec) -> None:
+        """Persist the spec into the store (guards against mixing stores)."""
+        existing = self.load_spec()
+        if existing is not None and existing.name != spec.name:
+            raise ValueError(
+                f"store at {self.root} belongs to campaign "
+                f"{existing.name!r}, not {spec.name!r}"
+            )
+        if self.spec_path is not None:
+            spec.save(self.spec_path)
+
+    def load_spec(self) -> CampaignSpec | None:
+        path = self.spec_path
+        if path is None or not path.exists():
+            return None
+        return CampaignSpec.load(path)

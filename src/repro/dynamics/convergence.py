@@ -19,6 +19,7 @@ from typing import Callable
 import networkx as nx
 
 from repro._alpha import AlphaLike
+from repro._rng import coerce_rng, trial_seed
 from repro.core.concepts import Concept
 from repro.core.state import GameState
 from repro.dynamics.engine import run_dynamics
@@ -69,7 +70,9 @@ def convergence_study(
     rhos: list[Fraction] = []
     instabilities: list[float] = []
     for index in range(runs):
-        rng = random.Random(seed * 100_003 + index)
+        # the shared per-run seed formula (repro._rng.trial_seed) keeps
+        # campaign-sharded dynamics trials bit-identical to this loop
+        rng = coerce_rng(trial_seed(seed, index))
         start = start_factory(rng)
         start_state = GameState(start, alpha)
         instabilities.append(

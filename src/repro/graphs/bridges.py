@@ -157,13 +157,19 @@ class BridgeSet:
     documents) and stores the returned deltas in its undo tokens.
     """
 
-    __slots__ = ("_edges", "_ends")
+    __slots__ = ("_edges", "_first", "_second", "_pos", "_len", "_version")
 
     def __init__(self, adj, nodes: Iterable[int]):
         global BRIDGE_REBUILDS
         BRIDGE_REBUILDS += 1
         self._edges: set[tuple[int, int]] = component_bridges(adj, nodes)
-        self._ends: tuple[np.ndarray, np.ndarray] | None = None
+        # incremental endpoint-array cache (see _endpoint_arrays):
+        # materialised lazily, then maintained through every delta
+        self._first: np.ndarray | None = None
+        self._second: np.ndarray | None = None
+        self._pos: dict[tuple[int, int], int] = {}
+        self._len = 0
+        self._version = 0
 
     # -- queries ------------------------------------------------------------
 
@@ -182,18 +188,68 @@ class BridgeSet:
     def as_frozenset(self) -> frozenset:
         return frozenset(self._edges)
 
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every endpoint-array change.
+
+        Lets consumers holding arrays derived from
+        :meth:`_endpoint_arrays` detect staleness without comparing
+        contents.
+        """
+        return self._version
+
     def _endpoint_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """Bridge endpoints as two int64 arrays (cached between mutations)."""
-        if self._ends is None:
+        """Bridge endpoints as two int64 array views.
+
+        The backing arrays are built once (first query) and then
+        maintained *incrementally* through every delta — O(1) amortised
+        append for a new bridge, O(1) swap-with-last removal for a dead
+        one — instead of being invalidated and re-sorted on each engine
+        push/pop.  The exponential searches hammer ``note_add`` once per
+        DFS node, so rebuild-per-delta was measurable overhead (the
+        PR-3 BNE quick-mode dip).  Order is unspecified (the side test
+        in :meth:`note_add` is order-independent); the views are valid
+        until the next mutation (:attr:`version` detects that).
+        """
+        if self._first is None:
             ordered = sorted(self._edges)
-            first = np.fromiter(
-                (edge[0] for edge in ordered), dtype=np.int64, count=len(ordered)
-            )
-            second = np.fromiter(
-                (edge[1] for edge in ordered), dtype=np.int64, count=len(ordered)
-            )
-            self._ends = (first, second)
-        return self._ends
+            capacity = max(8, 2 * len(ordered))
+            self._first = np.empty(capacity, dtype=np.int64)
+            self._second = np.empty(capacity, dtype=np.int64)
+            for index, (u, v) in enumerate(ordered):
+                self._first[index] = u
+                self._second[index] = v
+            self._pos = {edge: index for index, edge in enumerate(ordered)}
+            self._len = len(ordered)
+        return self._first[: self._len], self._second[: self._len]
+
+    def _arrays_add(self, edge: tuple[int, int]) -> None:
+        if self._first is None:
+            return  # cache not materialised yet; nothing to maintain
+        self._version += 1
+        if self._len == len(self._first):
+            grown_first = np.empty(2 * self._len, dtype=np.int64)
+            grown_second = np.empty(2 * self._len, dtype=np.int64)
+            grown_first[: self._len] = self._first
+            grown_second[: self._len] = self._second
+            self._first, self._second = grown_first, grown_second
+        self._first[self._len] = edge[0]
+        self._second[self._len] = edge[1]
+        self._pos[edge] = self._len
+        self._len += 1
+
+    def _arrays_discard(self, edge: tuple[int, int]) -> None:
+        if self._first is None:
+            return
+        self._version += 1
+        index = self._pos.pop(edge)
+        last = self._len - 1
+        if index != last:
+            self._first[index] = self._first[last]
+            self._second[index] = self._second[last]
+            moved = (int(self._first[index]), int(self._second[index]))
+            self._pos[moved] = index
+        self._len = last
 
     # -- mutation hooks (called by the engine) ------------------------------
 
@@ -209,7 +265,7 @@ class BridgeSet:
         if matrix[u, v] == unreachable:
             edge = _edge(u, v)
             self._edges.add(edge)
-            self._ends = None
+            self._arrays_add(edge)
             return ((edge,), ())
         if not self._edges:
             return _NO_CHANGE
@@ -223,7 +279,8 @@ class BridgeSet:
             (int(a), int(b)) for a, b in zip(first[dies], second[dies])
         )
         self._edges.difference_update(dead)
-        self._ends = None
+        for edge in dead:
+            self._arrays_discard(edge)
         return ((), dead)
 
     def note_remove(self, u: int, v: int, adj) -> BridgeDelta:
@@ -237,7 +294,7 @@ class BridgeSet:
         edge = _edge(u, v)
         if edge in self._edges:
             self._edges.discard(edge)
-            self._ends = None
+            self._arrays_discard(edge)
             return ((), (edge,))
         global BRIDGE_SWEEPS
         BRIDGE_SWEEPS += 1
@@ -246,7 +303,8 @@ class BridgeSet:
         if not fresh:
             return _NO_CHANGE
         self._edges.update(fresh)
-        self._ends = None
+        for new_bridge in fresh:
+            self._arrays_add(new_bridge)
         return (fresh, ())
 
     def revert(self, delta: BridgeDelta) -> None:
@@ -256,4 +314,7 @@ class BridgeSet:
             return
         self._edges.difference_update(added)
         self._edges.update(removed)
-        self._ends = None
+        for edge in added:
+            self._arrays_discard(edge)
+        for edge in removed:
+            self._arrays_add(edge)

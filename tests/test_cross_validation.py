@@ -103,6 +103,19 @@ def start_graph(family: str, rng: random.Random) -> nx.Graph:
     return nx.gnp_random_graph(n, rng.random() * 0.4, seed=rng.randrange(10**6))
 
 
+def assert_endpoint_arrays_consistent(dm: DistanceMatrix) -> None:
+    """The incrementally maintained endpoint arrays mirror the bridge set.
+
+    The arrays are in unspecified order, so compare as a set of pairs;
+    entry count must match exactly (no stale tail past the live length).
+    """
+    bridge_set = dm._bridges
+    first, second = bridge_set._endpoint_arrays()
+    assert len(first) == len(second) == len(bridge_set)
+    pairs = {(int(a), int(b)) for a, b in zip(first, second)}
+    assert pairs == {tuple(edge) for edge in bridge_set.as_frozenset()}
+
+
 def random_step(dm: DistanceMatrix, graph: nx.Graph, rng: random.Random):
     """One random legal mutation (add / remove / swap); returns its token.
 
@@ -159,6 +172,7 @@ class TestTrajectoryCrossValidation:
                 assert (dm.totals() == fresh.sum(axis=1)).all()
                 assert dm.bridges() == naive_bridges(graph)
                 assert dm.is_forest == nx.is_forest(graph)
+                assert_endpoint_arrays_consistent(dm)
             # incrementality: zero chain-decomposition rebuilds after the
             # one build at materialisation
             assert bridges_mod.BRIDGE_REBUILDS == rebuilds_at_start
@@ -185,6 +199,7 @@ class TestTrajectoryCrossValidation:
             assert dm.bridges() == bridges_before
             assert dm.is_forest == forest_before
             assert sorted(map(sorted, graph.edges)) == edges_before
+            assert_endpoint_arrays_consistent(dm)
 
     def test_disconnect_and_reconnect_sequence(self):
         """A scripted split of a cyclic graph into three pieces and back."""
@@ -521,3 +536,48 @@ class TestReservoirScheduler:
         chosen = random_improvement_scheduler(None, stream(), random.Random(3))
         assert chosen in range(100)
         assert seen == list(range(100))  # uniformity requires full drain
+
+
+# -- endpoint-array cache (PR 4) ---------------------------------------------
+
+
+class TestEndpointArrayCache:
+    """The versioned incremental endpoint arrays of the bridge set."""
+
+    def test_version_bumps_only_on_array_changes(self):
+        graph = nx.path_graph(6)
+        dm = DistanceMatrix(graph, UNREACHABLE)
+        bridge_set = dm._bridges
+        assert_endpoint_arrays_consistent(dm)  # materialises the arrays
+        version = bridge_set.version
+        dm.apply_add(0, 5)  # closes a cycle: every bridge on it dies
+        assert bridge_set.version > version
+        assert_endpoint_arrays_consistent(dm)
+        version = bridge_set.version
+        dm.apply_add(1, 4)  # second chord: no bridge status changes
+        assert bridge_set.version == version
+        assert_endpoint_arrays_consistent(dm)
+
+    def test_arrays_survive_growth_and_undo(self):
+        """Appends past the initial capacity, then LIFO undo to the start."""
+        graph = nx.complete_graph(5)  # zero bridges: minimum capacity
+        graph.add_nodes_from(range(5, 30))  # isolated, attached below
+        dm = DistanceMatrix(graph, UNREACHABLE)
+        assert_endpoint_arrays_consistent(dm)
+        tokens = []
+        for leaf in range(5, 30):  # 25 connecting adds, all new bridges
+            tokens.append(dm.apply_add(leaf - 1 if leaf > 5 else 0, leaf))
+            assert_endpoint_arrays_consistent(dm)
+        assert len(dm.bridges()) == 25
+        for token in reversed(tokens):
+            dm.undo(token)
+            assert_endpoint_arrays_consistent(dm)
+        assert len(dm.bridges()) == 0
+
+    def test_lazy_materialisation_after_mutations(self):
+        """Deltas before the first array query are absorbed by the build."""
+        graph = nx.path_graph(8)
+        dm = DistanceMatrix(graph, UNREACHABLE)
+        dm.apply_add(0, 7)
+        dm.apply_remove(3, 4)
+        assert_endpoint_arrays_consistent(dm)
