@@ -32,6 +32,10 @@ TRACKED = {
     "BENCH_distance_engine": ("families", "speedup"),
     "BENCH_dynamics_rounds": ("rounds", "speedup"),
     "BENCH_equilibria_search": ("workloads", "speedup"),
+    # weighted-traffic overhead: speedup = uniform/weighted seconds, so
+    # the 0.7 tolerance on a ~0.9 baseline caps the weighted engine at
+    # ~1.6x of uniform — well past the 1.3x design target
+    "BENCH_weighted_totals": ("workloads", "speedup"),
 }
 
 

@@ -1,15 +1,20 @@
-"""ISP peering as a Bilateral Network Creation Game.
+"""ISP peering as a Bilateral Network Creation Game — with real traffic.
 
 The paper's motivating story: autonomous networks (ISPs) interconnect by
 *mutual consent* — a peering link exists only if both sides provision it
 (ports, cross-connect fees, NOC effort), and each network wants short
 routes to everyone.  That is exactly the BNCG.
 
-This example grows a peering fabric from a sparse random start under
-increasing levels of cooperation and shows how the negotiated topology
-changes — including the game-theoretic subtleties: improving dynamics can
-cycle (there is no potential function), and a profitable consortium can
-make its members better off while *worsening* the network as a whole.
+Real peering fabrics do not carry uniform traffic, though: a handful of
+tier-1 transit networks exchange orders of magnitude more demand than
+access networks do among themselves.  This example models that with a
+**gravity demand matrix** (``W[u, v] = size_u * size_v``,
+:class:`repro.core.traffic.TrafficMatrix`) and grows the fabric from the
+same sparse legacy backbone under uniform and under weighted demand —
+showing how traffic concentration reshapes the negotiated topology, and
+the game-theoretic subtleties either way: improving dynamics can cycle
+(there is no potential function), and a profitable consortium can make
+its members better off while *worsening* the network as a whole.
 
 Run:  python examples/isp_peering.py [n] [alpha] [seed]
 """
@@ -21,6 +26,7 @@ from repro.analysis.tables import render_table
 from repro.core.concepts import Concept
 from repro.core.costs import agent_cost_after
 from repro.core.state import GameState
+from repro.core.traffic import TrafficMatrix
 from repro.dynamics.engine import run_dynamics
 from repro.dynamics.schedulers import best_improvement_scheduler
 from repro.equilibria.registry import check
@@ -28,16 +34,15 @@ from repro.equilibria.strong import probe_coalition_moves
 from repro.graphs.generation import random_tree
 
 
-def main(n: int = 24, alpha: int = 12, seed: int = 7) -> None:
-    rng = random.Random(seed)
-    start = random_tree(n, rng)  # a just-connected legacy topology
-    initial = GameState(start, alpha)
-    print(
-        f"{n} ISPs, link price alpha = {alpha}; initial random backbone: "
-        f"social cost {initial.social_cost()}, "
-        f"rho = {float(initial.rho()):.3f}\n"
-    )
+def isp_demands(n: int) -> TrafficMatrix:
+    """Gravity demands for a small internet: 2 tier-1 transit networks
+    (size 6), a few regionals (size 3), access networks (size 1)."""
+    sizes = [6, 6] + [3] * min(4, max(0, n - 2)) + [1] * max(0, n - 6)
+    return TrafficMatrix.gravity(sizes[:n])
 
+
+def negotiate(start, alpha, traffic, seed: int):
+    """Best-improvement dynamics per cooperation regime; returns rows."""
     rows = []
     finals = {}
     for concept, label in (
@@ -46,7 +51,7 @@ def main(n: int = 24, alpha: int = 12, seed: int = 7) -> None:
     ):
         result = run_dynamics(
             start, alpha, concept, scheduler=best_improvement_scheduler,
-            max_rounds=2000, rng=random.Random(seed),
+            max_rounds=2000, rng=random.Random(seed), traffic=traffic,
         )
         if result.cycled:
             outcome = "cycled"
@@ -61,24 +66,61 @@ def main(n: int = 24, alpha: int = 12, seed: int = 7) -> None:
                 result.rounds,
                 outcome,
                 float(result.final.social_cost()),
-                float(result.final.rho()),
                 result.final.graph.number_of_edges(),
                 result.final.dist.diameter(),
                 check(result.final, concept),
             ]
         )
+    return rows, finals
 
+
+def main(n: int = 24, alpha: int = 12, seed: int = 7) -> None:
+    rng = random.Random(seed)
+    start = random_tree(n, rng)  # a just-connected legacy topology
+    traffic = isp_demands(n)
+    uniform_initial = GameState(start, alpha)
+    weighted_initial = GameState(start, alpha, traffic=traffic)
+    print(
+        f"{n} ISPs, link price alpha = {alpha}; initial random backbone: "
+        f"social cost {uniform_initial.social_cost()} uniform, "
+        f"{weighted_initial.social_cost()} under gravity demand\n"
+    )
+
+    headers = [
+        "negotiation regime", "moves", "outcome", "social cost",
+        "links", "diameter", "stable now",
+    ]
+    uniform_rows, _ = negotiate(start, alpha, None, seed)
     print(
         render_table(
-            ["negotiation regime", "moves", "outcome", "social cost",
-             "rho", "links", "diameter", "stable now"],
-            rows,
-            title="Peering dynamics under increasing cooperation "
+            headers, uniform_rows,
+            title="Peering dynamics, uniform demand "
             "(best-improvement scheduling)",
         )
     )
+    weighted_rows, finals = negotiate(start, alpha, traffic, seed)
+    print()
     print(
-        "\nNote: improving dynamics in the BNCG carry no potential "
+        render_table(
+            headers, weighted_rows,
+            title="Peering dynamics, gravity demand (tier-1 pairs "
+            "carry 36x an access pair)",
+        )
+    )
+    tier1_linked = finals[
+        "handshakes + rewiring (BGE)"
+    ].graph.has_edge(0, 1)
+    print(
+        "\nUnder gravity demand the two tier-1 networks "
+        + (
+            "negotiate a direct interconnect"
+            if tier1_linked
+            else "still route through intermediaries"
+        )
+        + "; uniform demand treats them like any other pair."
+    )
+    print(
+        "Note: improving dynamics in the BNCG carry no potential "
         "function, so trajectories may cycle; the engine detects and "
         "reports that instead of looping forever."
     )
@@ -110,11 +152,16 @@ def main(n: int = 24, alpha: int = 12, seed: int = 7) -> None:
             f"{coalition.coalition} still profits: per-member cost drops "
             f"{member_drops}."
         )
-        direction = "improves" if improved.rho() < final.rho() else "worsens"
+        direction = (
+            "improves"
+            if improved.social_cost() < final.social_cost()
+            else "worsens"
+        )
         print(
-            f"Selfish renegotiation {direction} the whole fabric: rho "
-            f"{float(final.rho()):.3f} -> {float(improved.rho()):.3f} — "
-            "profitable coalitions need not serve the social optimum."
+            f"Selfish renegotiation {direction} the whole fabric: "
+            f"social cost {float(final.social_cost()):.0f} -> "
+            f"{float(improved.social_cost()):.0f} — profitable "
+            "coalitions need not serve the social optimum."
         )
 
 

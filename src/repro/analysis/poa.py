@@ -21,14 +21,17 @@ from repro.constructions.basic import almost_complete_dary_tree
 from repro.core.concepts import Concept
 from repro.core.costs import max_agent_cost
 from repro.core.state import GameState
+from repro.core.traffic import TrafficMatrix
 from repro.equilibria.registry import check
 from repro.graphs.generation import all_connected_graphs, all_trees
 
 __all__ = [
     "PoAResult",
+    "WeightedPoAResult",
     "bse_upper_bound_via_dary_tree",
     "empirical_poa",
     "empirical_tree_poa",
+    "empirical_weighted_poa",
     "worst_equilibria",
 ]
 
@@ -118,6 +121,86 @@ def worst_equilibria(
             scored.append((state.rho(), state.graph.copy()))
     scored.sort(key=lambda item: item[0], reverse=True)
     return scored[:top]
+
+
+@dataclass(frozen=True)
+class WeightedPoAResult:
+    """Family-relative worst-case ratio under a heterogeneous demand matrix.
+
+    The uniform game has a closed-form optimum; a weighted game does
+    not, and demands break label symmetry, so the ratio here is
+    *family-relative*: worst equilibrium social cost over the **minimum
+    social cost in the enumerated family** (a certified lower bound on
+    the true weighted PoA — the enumeration quantifies over one labelled
+    representative per isomorphism class).
+    """
+
+    n: int
+    alpha: Fraction
+    concept: Concept
+    k: int | None
+    poa: Fraction | None  # None when no equilibrium exists in the family
+    worst_cost: Fraction | None
+    best_cost: Fraction
+    witness: nx.Graph | None
+    equilibria: int
+    candidates: int
+
+
+def empirical_weighted_poa(
+    n: int,
+    alpha: AlphaLike,
+    concept: Concept,
+    traffic: TrafficMatrix,
+    k: int | None = None,
+    trees_only: bool = True,
+) -> WeightedPoAResult:
+    """Worst equilibrium vs family optimum under a demand matrix.
+
+    Enumerates the same family as :func:`empirical_tree_poa` /
+    :func:`empirical_poa` (one labelled representative per isomorphism
+    class), checks each representative against the *weighted* concept
+    checkers, and divides the worst equilibrium's weighted social cost
+    by the family's minimum weighted social cost.  With
+    ``TrafficMatrix.uniform(n)`` the checkers run the unweighted code
+    paths, and whenever the closed-form optimum lies inside the
+    enumerated family — for trees that is ``alpha >= 1``, where the
+    optimum is the star — the ratio reproduces the uniform PoA exactly
+    (for ``alpha < 1`` the uniform optimum is the clique, so the
+    tree-family ratio is denominated by the cheapest tree instead).
+    """
+    price = as_alpha(alpha)
+    graphs = all_trees(n) if trees_only else all_connected_graphs(n)
+    worst: Fraction | None = None
+    witness: nx.Graph | None = None
+    best: Fraction | None = None
+    equilibria = 0
+    candidates = 0
+    for graph in graphs:
+        candidates += 1
+        state = GameState(graph, price, traffic=traffic)
+        cost = state.social_cost()
+        if best is None or cost < best:
+            best = cost
+        if not check(state, concept, k=k):
+            continue
+        equilibria += 1
+        if worst is None or cost > worst:
+            worst = cost
+            witness = state.graph.copy()
+    assert best is not None, "the family enumeration was empty"
+    return WeightedPoAResult(
+        n=n,
+        alpha=price,
+        concept=concept,
+        k=k,
+        poa=None if worst is None else worst / best,
+        worst_cost=worst,
+        best_cost=best,
+        witness=witness,
+        equilibria=equilibria,
+        candidates=candidates,
+    )
 
 
 def bse_upper_bound_via_dary_tree(

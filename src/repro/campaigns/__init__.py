@@ -9,7 +9,8 @@ first-class object:
   (JSON round-trip, committed next to the code) expanding
   deterministically into content-addressed :class:`Trial`\\ s;
 * :mod:`~repro.campaigns.runners` — the per-trial execution kinds
-  (``tree_poa``, ``graph_poa``, ``dynamics``), all riding the
+  (``tree_poa``, ``graph_poa``, ``dynamics``, ``weighted_poa``,
+  ``constructions``, ``ladder_classify``), all riding the
   speculative-evaluation engine, all bit-reproducible from the campaign
   seed;
 * :mod:`~repro.campaigns.executor` — sharded ``multiprocessing``

@@ -23,6 +23,15 @@ Built-in reducers:
 ``trial_table``
     A flat listing of every trial and its status — the fallback report
     for any campaign shape.
+``weighted_poa_table``
+    Traffic-regime-by-alpha rows against concept columns, cells the
+    family-relative weighted PoA of the matching ``weighted_poa`` trial.
+``poa_fit``
+    PoA-vs-alpha scaling fits (:mod:`repro.analysis.fitting`): one row
+    per concept column with the ``rho ~ log2(alpha)`` slope, the
+    log-log power-law exponent and the relative spread — the shape
+    comparison behind the paper's Theta claims, computed from campaign
+    records instead of a hand-rolled benchmark loop.
 """
 
 from __future__ import annotations
@@ -42,8 +51,10 @@ __all__ = [
     "REDUCERS",
     "convergence_stats",
     "reduce_convergence",
+    "reduce_poa_fit",
     "reduce_poa_table",
     "reduce_trial_table",
+    "reduce_weighted_poa_table",
     "render_report",
 ]
 
@@ -78,14 +89,9 @@ def reduce_poa_table(
     for alpha in alphas:
         cells: list[Any] = [alpha]
         for column in columns:
-            params: dict[str, Any] = {
-                "n": n,
-                "alpha": alpha,
-                "concept": _concept_of(column["concept"]),
-            }
-            if column.get("k") is not None:
-                params["k"] = int(column["k"])
-            result = store.result(trial_key(kind, params))
+            result = store.result(
+                trial_key(kind, _column_params(n, alpha, column))
+            )
             if result is None:
                 cells.append("?")
             else:
@@ -93,6 +99,126 @@ def reduce_poa_table(
                 cells.append(float(poa) if poa else "-")
         rows.append(cells)
     headers = ["alpha"] + [column["header"] for column in columns]
+    return render_table(headers, rows, title=title)
+
+
+def _column_params(
+    n: int, alpha, column: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Trial parameters addressed by one report column (shared lookup)."""
+    params: dict[str, Any] = {
+        "n": n,
+        "alpha": alpha,
+        "concept": _concept_of(column["concept"]),
+    }
+    if column.get("k") is not None:
+        params["k"] = int(column["k"])
+    for name, value in (column.get("params") or {}).items():
+        params[name] = value
+    return params
+
+
+def reduce_weighted_poa_table(
+    spec: CampaignSpec, store: CampaignStore, options: Mapping[str, Any]
+) -> str:
+    """Traffic-by-alpha rows against concept columns (``weighted_poa``).
+
+    Options: ``n``, ``alphas``, ``traffics`` (list of ``{"label",
+    "traffic"}`` with the same spec dicts the grid used), ``columns``
+    (``{"header", "concept", "k"?, "params"?}``), optional ``kind`` and
+    ``title``.  Cells are the family-relative weighted PoA; trials not
+    yet in the store render as ``?``, equilibrium-free cells as ``-``.
+    """
+    n = int(options["n"])
+    kind = options.get("kind", spec.kind)
+    alphas = [as_alpha(a) for a in options["alphas"]]
+    traffics = list(options["traffics"])
+    columns = list(options["columns"])
+    title = options.get(
+        "title", "Family-relative weighted PoA by traffic regime (n={n})"
+    ).format(n=n)
+
+    rows = []
+    for regime in traffics:
+        for alpha in alphas:
+            cells: list[Any] = [regime["label"], alpha]
+            for column in columns:
+                params = _column_params(n, alpha, column)
+                params["traffic"] = regime["traffic"]
+                result = store.result(trial_key(kind, params))
+                if result is None:
+                    cells.append("?")
+                else:
+                    poa = result["poa"]
+                    cells.append(float(poa) if poa else "-")
+            rows.append(cells)
+    headers = ["traffic", "alpha"] + [column["header"] for column in columns]
+    return render_table(headers, rows, title=title)
+
+
+def reduce_poa_fit(
+    spec: CampaignSpec, store: CampaignStore, options: Mapping[str, Any]
+) -> str:
+    """PoA-vs-alpha scaling fits per concept column.
+
+    Options: ``n``, ``alphas``, ``columns`` (``{"header", "concept",
+    "k"?, "params"?}``), optional ``kind`` / ``title``.  Each column's
+    ``(alpha, poa)`` points (completed trials with an equilibrium) feed
+    :func:`repro.analysis.fitting.fit_log_slope` and
+    :func:`~repro.analysis.fitting.fit_power_law`; rows report both
+    slopes, their r-squared and the relative spread, so a
+    ``Theta(log alpha)`` family shows a stable positive log slope and a
+    ``Theta(sqrt alpha)`` family a power exponent near 1/2.
+    Deterministic: points aggregate in the listed alpha order.
+    """
+    from repro.analysis.fitting import (
+        fit_log_slope,
+        fit_power_law,
+        relative_spread,
+    )
+
+    n = int(options["n"])
+    kind = options.get("kind", spec.kind)
+    alphas = [as_alpha(a) for a in options["alphas"]]
+    columns = list(options["columns"])
+    title = options.get(
+        "title", "PoA-vs-alpha scaling fits (n={n})"
+    ).format(n=n)
+
+    rows = []
+    for column in columns:
+        points: list[tuple[Fraction, Fraction]] = []
+        for alpha in alphas:
+            result = store.result(
+                trial_key(kind, _column_params(n, alpha, column))
+            )
+            if result is None or not result.get("poa"):
+                continue
+            points.append((alpha, result["poa"]))
+        if len(points) < 2:
+            rows.append(
+                [column["header"], len(points), "-", "-", "-", "-", "-"]
+            )
+            continue
+        xs = [point[0] for point in points]
+        ys = [point[1] for point in points]
+        log_fit = fit_log_slope(xs, ys)
+        power_fit = fit_power_law(xs, ys)
+        rows.append(
+            [
+                column["header"],
+                len(points),
+                log_fit.slope,
+                log_fit.r_squared,
+                power_fit.slope,
+                power_fit.r_squared,
+                relative_spread(ys),
+            ]
+        )
+    headers = [
+        "column", "points", "log2 slope", "r2(log)",
+        "power exp", "r2(power)", "spread",
+    ]
     return render_table(headers, rows, title=title)
 
 
@@ -233,8 +359,10 @@ def _fmt(value) -> str:
 
 REDUCERS: dict[str, Reducer] = {
     "poa_table": reduce_poa_table,
+    "poa_fit": reduce_poa_fit,
     "convergence": reduce_convergence,
     "trial_table": reduce_trial_table,
+    "weighted_poa_table": reduce_weighted_poa_table,
 }
 
 

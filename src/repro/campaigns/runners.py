@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
-from repro._rng import coerce_rng, trial_seed
+from repro._rng import coerce_rng, derive_seed, trial_seed
 from repro.core.concepts import Concept
 
 __all__ = ["RUNNERS", "execute_trial", "runner", "scheduler_by_name"]
@@ -117,6 +117,164 @@ def run_graph_poa(params: Mapping[str, Any], base_seed: int) -> dict[str, Any]:
     }
 
 
+@runner("weighted_poa")
+def run_weighted_poa(
+    params: Mapping[str, Any], base_seed: int
+) -> dict[str, Any]:
+    """Family-relative worst-case PoA under a heterogeneous demand matrix.
+
+    ``params["traffic"]`` is a **required** JSON-able traffic spec
+    (:func:`repro.core.traffic.traffic_from_spec`) — part of the trial's
+    content hash, so the demand matrix is a pure function of the trial's
+    identity and every trial has exactly one spelling (an absent axis
+    would hash differently from an explicit ``{"model": "uniform"}``,
+    splitting one semantic trial across two keys).  Deterministic; the
+    base seed is unused (seeded traffic models carry their own ``seed``
+    parameter).
+    """
+    from repro.analysis.poa import empirical_weighted_poa
+    from repro.core.traffic import traffic_from_spec
+
+    n = int(params["n"])
+    if params.get("traffic") is None:
+        raise ValueError(
+            "weighted_poa trials need an explicit 'traffic' spec "
+            '(use {"model": "uniform"} for the uniform game)'
+        )
+    traffic = traffic_from_spec(params["traffic"], n)
+    family = params.get("family", "trees")
+    if family not in ("trees", "graphs"):
+        raise ValueError(f"unknown graph family {family!r}")
+    result = empirical_weighted_poa(
+        n,
+        params["alpha"],
+        _concept(params),
+        traffic,
+        k=params.get("k"),
+        trees_only=family == "trees",
+    )
+    return {
+        "poa": result.poa,
+        "worst_cost": result.worst_cost,
+        "best_cost": result.best_cost,
+        "equilibria": result.equilibria,
+        "candidates": result.candidates,
+    }
+
+
+def _figure_registry():
+    from repro.constructions.figures import (
+        figure2_nash_not_pairwise_stable,
+        figure5_bae_bge_not_bne,
+        figure6_bne_not_2bse,
+        figure7_kbse_not_bne,
+        figure8_bae_not_unilateral_ae,
+    )
+
+    return {
+        "figure2": figure2_nash_not_pairwise_stable,
+        "figure5": figure5_bae_bge_not_bne,
+        "figure6": figure6_bne_not_2bse,
+        "figure7": figure7_kbse_not_bne,
+        "figure8": figure8_bae_not_unilateral_ae,
+    }
+
+
+@runner("constructions")
+def run_constructions(
+    params: Mapping[str, Any], base_seed: int
+) -> dict[str, Any]:
+    """One paper figure as a campaign trial.
+
+    Rebuilds the named construction
+    (:mod:`repro.constructions.figures`; ``figure7`` accepts ``k`` /
+    ``i``) and reports its exact polynomial-ladder memberships plus the
+    headline quantities — deterministic, so figure sweeps shard and
+    resume like any other campaign.
+    """
+    from repro.analysis.search import classify_re_bae_bswe
+    from repro.core.state import GameState
+
+    registry = _figure_registry()
+    name = params["figure"]
+    try:
+        build = registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {name!r}; known: {sorted(registry)}"
+        ) from None
+    if name == "figure7":
+        kwargs = {}
+        if params.get("k") is not None:
+            kwargs["k"] = int(params["k"])
+        if params.get("i") is not None:
+            kwargs["i"] = int(params["i"])
+        fig = build(**kwargs)
+    else:
+        fig = build()
+    state = GameState(fig.graph, fig.alpha)
+    re_ok, bae_ok, bswe_ok = classify_re_bae_bswe(state)
+    return {
+        "n": state.n,
+        "alpha": fig.alpha,
+        "re": re_ok,
+        "bae": bae_ok,
+        "bswe": bswe_ok,
+        "ps": re_ok and bae_ok,
+        "bge": re_ok and bae_ok and bswe_ok,
+        "rho": state.rho(),
+    }
+
+
+@runner("ladder_classify")
+def run_ladder_classify(
+    params: Mapping[str, Any], base_seed: int
+) -> dict[str, Any]:
+    """Full-ladder stability profile of one seeded random instance.
+
+    Draws the start graph from ``(base_seed, n, alpha, start, index)``
+    through :func:`repro._rng.derive_seed` and runs
+    :func:`repro.analysis.search.classify_full_ladder` with a second
+    derived seed for the exponential concepts' probe fallbacks — fully
+    reproducible at any worker count.  Results carry per-concept
+    ``stable`` / ``exhaustive`` flags.
+    """
+    from repro.analysis.search import classify_full_ladder
+    from repro.core.state import GameState
+    from repro.graphs.generation import random_connected_gnp, random_tree
+
+    n = int(params["n"])
+    index = int(params["index"])
+    start = params.get("start", "tree")
+    alpha = params["alpha"]
+    rng = coerce_rng(derive_seed(base_seed, "ladder", n, str(alpha), start, index))
+    if start == "tree":
+        graph = random_tree(n, rng)
+    elif start == "gnp":
+        graph = random_connected_gnp(n, float(params.get("p", 0.3)), rng)
+    else:
+        raise ValueError(f"unknown start family {start!r}")
+    state = GameState(graph, alpha)
+    reports = classify_full_ladder(
+        state,
+        max_coalition_size=int(params.get("max_coalition_size", 3)),
+        seed=derive_seed(base_seed, "ladder-probe", n, str(alpha), start, index),
+        probe_samples=int(params.get("probe_samples", 2000)),
+    )
+    return {
+        "rho": state.rho(),
+        "ladder": {
+            concept.name: {
+                "stable": bool(report.stable),
+                "exhaustive": bool(report.exhaustive),
+            }
+            for concept, report in sorted(
+                reports.items(), key=lambda item: item[0].name
+            )
+        },
+    }
+
+
 @runner("dynamics")
 def run_dynamics_trial(
     params: Mapping[str, Any], base_seed: int
@@ -137,6 +295,15 @@ def run_dynamics_trial(
     from repro.graphs.generation import random_tree
 
     concept = _concept(params)
+    if params.get("traffic") is not None:
+        # run_dynamics accepts a traffic model, but this runner's final
+        # metric (rho) is uniform-only — refuse rather than silently
+        # running identical uniform dynamics under per-regime labels
+        raise ValueError(
+            "the dynamics runner is uniform-only (its rho metric has no "
+            "weighted optimum); a weighted_dynamics kind is a planned "
+            "follow-up"
+        )
     n = int(params["n"])
     index = int(params["index"])
     max_rounds = int(params.get("max_rounds", 2000))

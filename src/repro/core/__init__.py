@@ -26,6 +26,7 @@ from repro.core.speculative import (
     SpeculativeEvaluator,
     evaluation_count,
 )
+from repro.core.traffic import TrafficMatrix, traffic_from_spec
 
 __all__ = [
     "AddEdge",
@@ -38,6 +39,7 @@ __all__ = [
     "RemoveEdge",
     "SpeculativeEvaluator",
     "Swap",
+    "TrafficMatrix",
     "agent_cost",
     "agent_cost_after",
     "cost_strictly_less",
@@ -46,4 +48,5 @@ __all__ = [
     "optimum_graph",
     "social_cost",
     "social_cost_ratio",
+    "traffic_from_spec",
 ]

@@ -5,11 +5,20 @@ and ``d`` an integer distance total.  Comparing two such costs reduces to
 comparing an integer against ``alpha * (k2 - k1)``, which Python evaluates
 exactly on ``Fraction``s — no floating point is involved anywhere in an
 equilibrium decision.
+
+Under a heterogeneous traffic model the distance total is the weighted
+``d = sum_v W[u, v] * dist(u, v)`` — still an exact integer, so the same
+comparison applies.  Every helper here reads the state's traffic model:
+none of them silently assumes uniform demand, and callers that mix a
+weighted state with unweighted totals get weighted answers, not wrong
+ones.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
+
+import numpy as np
 
 from repro.core.state import GameState
 from repro.graphs.distances import single_source_distances
@@ -19,6 +28,7 @@ __all__ = [
     "agent_cost_after",
     "cost_strictly_less",
     "social_cost",
+    "weighted_dist_total",
 ]
 
 
@@ -31,9 +41,24 @@ def cost_strictly_less(
 ) -> bool:
     """Whether ``alpha*buy_new + dist_new < alpha*buy_old + dist_old``.
 
-    Exact for any ``Fraction`` alpha and Python-int distances.
+    Exact for any ``Fraction`` alpha and Python-int distances; the
+    distance totals may be uniform or demand-weighted — both are exact
+    integers.
     """
     return alpha * (buy_count_new - buy_count_old) < dist_old - dist_new
+
+
+def weighted_dist_total(state: GameState, u: int, dist: np.ndarray) -> int:
+    """``sum_v W[u, v] * dist[v]`` under the state's traffic model.
+
+    ``dist`` is a fresh distance row (e.g. from
+    :func:`~repro.graphs.distances.single_source_distances`); uniform
+    states take the plain row sum — bit-identical to the historical
+    behaviour.
+    """
+    if state.weighted:
+        return int((state.traffic.weights[u] * dist).sum())
+    return int(dist.sum())
 
 
 def agent_cost(state: GameState, u: int) -> Fraction:
@@ -42,13 +67,16 @@ def agent_cost(state: GameState, u: int) -> Fraction:
 
 
 def agent_cost_after(state: GameState, graph_after, u: int) -> Fraction:
-    """``cost(u)`` in a mutated graph, using the state's ``alpha`` and ``M``.
+    """``cost(u)`` in a mutated graph, using the state's ``alpha``, ``M``
+    and traffic model.
 
     ``graph_after`` must keep the node set ``0..n-1``.  One BFS; intended
     for checking candidate moves without building a full new state.
     """
     dist = single_source_distances(graph_after, u, state.m_constant)
-    return state.alpha * graph_after.degree(u) + int(dist.sum())
+    return state.alpha * graph_after.degree(u) + weighted_dist_total(
+        state, u, dist
+    )
 
 
 def social_cost(state: GameState) -> Fraction:
@@ -59,11 +87,15 @@ def social_cost(state: GameState) -> Fraction:
 def dist_totals_after(
     state: GameState, graph_after, agents: list[int]
 ) -> dict[int, int]:
-    """Distance totals for several agents in a mutated graph (one BFS each)."""
+    """Distance totals for several agents in a mutated graph (one BFS each).
+
+    Weighted under the state's traffic model, so a checker can never mix
+    a weighted state with unweighted totals.
+    """
     result = {}
     for agent in agents:
         vector = single_source_distances(graph_after, agent, state.m_constant)
-        result[agent] = int(vector.sum())
+        result[agent] = weighted_dist_total(state, agent, vector)
     return result
 
 
@@ -71,14 +103,14 @@ def strictly_improves(
     state: GameState, graph_after, u: int
 ) -> bool:
     """Whether agent ``u``'s total cost strictly drops in ``graph_after``."""
-    new_dist = int(
-        single_source_distances(graph_after, u, state.m_constant).sum()
+    new_dist = weighted_dist_total(
+        state, u, single_source_distances(graph_after, u, state.m_constant)
     )
     return cost_strictly_less(
         graph_after.degree(u),
         new_dist,
         state.graph.degree(u),
-        state.dist.total(u),
+        state.dist_cost(u),
         state.alpha,
     )
 
@@ -91,12 +123,15 @@ def all_strictly_improve(
 
 
 def max_agent_cost(state: GameState) -> Fraction:
-    """``max_u cost(u)`` — the quantity of Lemma 3.17."""
-    totals = state.dist.totals()
+    """``max_u cost(u)`` — the quantity of Lemma 3.17.
+
+    Reads :meth:`GameState.dist_cost`, so weighted states maximise the
+    demand-weighted costs.
+    """
     degrees = state.degrees()
     best: Fraction | None = None
     for u in range(state.n):
-        value = state.alpha * int(degrees[u]) + int(totals[u])
+        value = state.alpha * int(degrees[u]) + state.dist_cost(u)
         if best is None or value > best:
             best = value
     assert best is not None

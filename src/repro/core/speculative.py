@@ -45,6 +45,15 @@ Contract (extends the PR-1 engine contract):
   is only mutated *through* its own speculation scopes; apply a move for
   real and the evaluator must be rebuilt.
 
+* **heterogeneous traffic** — when the state carries a non-uniform
+  :class:`~repro.core.traffic.TrafficMatrix`, every distance total above
+  becomes the demand-weighted row dot product ``sum_v W[u, v] * d(u, v)``
+  (base snapshots, live deltas, rows-only evaluations and
+  :class:`Fold` totals alike), and the per-agent distance floor used by
+  the searchers' size pruning becomes the agent's demand mass.  Uniform
+  states bypass all weighted arithmetic and stay bit-exact with the
+  historical behaviour.
+
 The module-level :data:`EVALUATIONS` spy counts candidate evaluations so
 tests can assert that a refactored searcher inspects exactly the same
 number of candidates as its reference implementation.
@@ -61,6 +70,7 @@ import numpy as np
 
 from repro.core.moves import AddEdge, Move, RemoveEdge, Swap
 from repro.core.state import GameState
+from repro.graphs.distances import weighted_added_edge_dist_gain
 
 __all__ = [
     "Fold",
@@ -118,14 +128,33 @@ class SpeculativeEvaluator:
         self.engine = state.dist  # materialises the cached APSP once
         self.graph = state.graph  # the same object the engine mutates
         self.alpha = state.alpha
+        # heterogeneous traffic: a non-uniform demand matrix switches
+        # every distance total below to the weighted row dot product;
+        # uniform states keep the historical plain row sums bit-exactly
+        self._weights = (
+            state.traffic.weights if state.weighted else None
+        )
         # plain-int snapshots: row sums read straight off the matrix (no
         # forced materialisation of the engine's incremental totals) and
         # the adjacency dict the engine mutates in place, so per-candidate
         # queries cost a handful of C-level ops
         self._adj = self.graph._adj
-        self._base_totals = [
-            int(value) for value in self.engine.matrix.sum(axis=1)
-        ]
+        if self._weights is None:
+            self._base_totals = [
+                int(value) for value in self.engine.matrix.sum(axis=1)
+            ]
+            self._floors = None
+        else:
+            self._base_totals = [
+                int(value)
+                for value in (self.engine.matrix * self._weights).sum(axis=1)
+            ]
+            # each positive-demand destination sits at distance >= 1, so
+            # an agent's weighted distance total can never drop below its
+            # demand mass — the weighted analogue of the n - 1 floor
+            self._floors = [
+                int(value) for value in self._weights.sum(axis=1)
+            ]
         self._base_degrees = [len(self._adj[u]) for u in range(state.n)]
         # numerator/denominator of alpha for pure-integer comparisons
         self._alpha_num = self.alpha.numerator
@@ -187,9 +216,32 @@ class SpeculativeEvaluator:
         """Change in the number of edges ``agent`` pays for."""
         return len(self._adj[agent]) - self._base_degrees[agent]
 
+    def current_dist(self, agent: int) -> int:
+        """``agent``'s (weighted) distance total on the live matrix."""
+        if self._weights is None:
+            return int(self.engine.matrix[agent].sum())
+        return int((self._weights[agent] * self.engine.matrix[agent]).sum())
+
+    def dist_floor(self, agent: int) -> int:
+        """The smallest distance total ``agent`` can ever reach.
+
+        ``n - 1`` uniform (everyone at distance 1); the agent's demand
+        mass under a traffic model.  The sound lower bound behind the
+        searchers' size pruning.
+        """
+        if self._floors is None:
+            return self.state.n - 1
+        return self._floors[agent]
+
+    def row_dist(self, agent: int, row: np.ndarray) -> int:
+        """The (weighted) distance total of a hypothetical distance row."""
+        if self._weights is None:
+            return int(row.sum())
+        return int((self._weights[agent] * row).sum())
+
     def dist_delta(self, agent: int) -> int:
         """Exact change in ``agent``'s total distance cost."""
-        return int(self.engine.matrix[agent].sum()) - self._base_totals[agent]
+        return self.current_dist(agent) - self._base_totals[agent]
 
     def cost_delta(self, agent: int) -> Fraction:
         """``cost_after - cost_before`` for ``agent`` (exact)."""
@@ -210,7 +262,7 @@ class SpeculativeEvaluator:
         pure-integer fast path when the agent's buying cost is unchanged.
         """
         buy_delta = len(self._adj[agent]) - self._base_degrees[agent]
-        dist_new = int(self.engine.matrix[agent].sum())
+        dist_new = self.current_dist(agent)
         if buy_delta == 0:
             return dist_new < self._base_totals[agent]
         return self._alpha_num * buy_delta < (
@@ -288,15 +340,16 @@ class SpeculativeEvaluator:
             if self.graph.has_edge(u, v):
                 raise ValueError(f"edge {u}-{v} already exists")
             self.note_evaluation()
+            gain_u, gain_v = self.add_gain_pair(u, v)
             deltas = (
-                (u, self.alpha - self.engine.add_gain(u, v)),
-                (v, self.alpha - self.engine.add_gain(v, u)),
+                (u, self.alpha - gain_u),
+                (v, self.alpha - gain_v),
             )
         elif isinstance(move, RemoveEdge):
             actor, other = move.actor, move.other
             self.note_evaluation()
             row = self.engine.rows_after_remove_from(actor, other, (actor,))
-            dist_after = int(row[0].sum())
+            dist_after = self.row_dist(actor, row[0])
             deltas = (
                 (actor, dist_after - self._base_totals[actor] - self.alpha),
             )
@@ -316,8 +369,12 @@ class SpeculativeEvaluator:
                 rows = self.engine.rows_after_remove_from(
                     actor, old, (actor, new)
                 )
-                dist_actor = int(np.minimum(rows[0], 1 + rows[1]).sum())
-                dist_new = int(np.minimum(rows[1], 1 + rows[0]).sum())
+                dist_actor = self.row_dist(
+                    actor, np.minimum(rows[0], 1 + rows[1])
+                )
+                dist_new = self.row_dist(
+                    new, np.minimum(rows[1], 1 + rows[0])
+                )
             self.note_evaluation()
             deltas = (
                 (actor, Fraction(dist_actor - self._base_totals[actor])),
@@ -360,15 +417,28 @@ class SpeculativeEvaluator:
     # -- delegated speculative queries (engine fast paths) ------------------
 
     def add_gain_pair(self, u: int, v: int) -> tuple[int, int]:
-        """Distance gains of both endpoints when edge ``uv`` is added
-        (one-edge-add identity; no mutation, no search)."""
-        return self.engine.add_gain(u, v), self.engine.add_gain(v, u)
+        """(Weighted) distance gains of both endpoints when edge ``uv`` is
+        added (one-edge-add identity; no mutation, no search)."""
+        if self._weights is None:
+            return self.engine.add_gain(u, v), self.engine.add_gain(v, u)
+        matrix = self.engine.matrix
+        return (
+            weighted_added_edge_dist_gain(matrix, self._weights[u], u, v),
+            weighted_added_edge_dist_gain(matrix, self._weights[v], v, u),
+        )
 
     def remove_loss_pair(self, u: int, v: int) -> tuple[int, int]:
-        """Distance losses of both endpoints when edge ``uv`` is removed
-        (a matrix read for bridges, one batched BFS on the cached CSR
-        otherwise; no mutation)."""
-        return self.engine.remove_loss_pair(u, v)
+        """(Weighted) distance losses of both endpoints when edge ``uv`` is
+        removed (a matrix read for bridges — each side charged by its
+        demand mass toward the far side — one batched BFS on the cached
+        CSR otherwise; no mutation)."""
+        if self._weights is None:
+            return self.engine.remove_loss_pair(u, v)
+        row_u, row_v = self.engine.rows_after_remove(u, v)
+        return (
+            self.row_dist(u, row_u) - self.current_dist(u),
+            self.row_dist(v, row_v) - self.current_dist(v),
+        )
 
     def is_bridge(self, u: int, v: int) -> bool:
         """Whether edge ``uv`` is a bridge of the current (speculated)
@@ -383,10 +453,15 @@ class SpeculativeEvaluator:
         pushed deltas are reflected), after which whole addition subsets
         — and removal subsets whose dropped edges are bridges of the
         folded graph — evaluate without touching the engine at all.
+        Under a traffic model the fold carries the tracked agents'
+        demand rows, so its ``dist_total`` answers are weighted.
         """
         order = list(nodes)
         index = {node: position for position, node in enumerate(order)}
-        return Fold(index, self.engine.matrix[order], self.engine.unreachable)
+        weights = None if self._weights is None else self._weights[order]
+        return Fold(
+            index, self.engine.matrix[order], self.engine.unreachable, weights
+        )
 
 
 class Fold:
@@ -421,22 +496,33 @@ class Fold:
     (:meth:`SpeculativeEvaluator.best`).
     """
 
-    __slots__ = ("_index", "_rows", "_unreachable")
+    __slots__ = ("_index", "_rows", "_unreachable", "_weights")
 
-    def __init__(self, index: dict, rows: np.ndarray, unreachable: int):
+    def __init__(
+        self,
+        index: dict,
+        rows: np.ndarray,
+        unreachable: int,
+        weights: np.ndarray | None = None,
+    ):
         self._index = index
         self._rows = rows
         self._unreachable = unreachable
+        # demand rows of the tracked nodes (aligned with ``rows``); None
+        # means uniform traffic and plain row sums
+        self._weights = weights
 
     def restrict(self, nodes: Sequence[int]) -> "Fold":
         """A fold tracking only ``nodes`` (e.g. drop removable-edge
         endpoints before an addition-only suffix — extends get cheaper)."""
         order = list(nodes)
         index = {node: position for position, node in enumerate(order)}
+        positions = [self._index[node] for node in order]
         return Fold(
             index,
-            self._rows[[self._index[node] for node in order]],
+            self._rows[positions],
             self._unreachable,
+            None if self._weights is None else self._weights[positions],
         )
 
     def extend(self, u: int, v: int) -> "Fold":
@@ -447,7 +533,7 @@ class Fold:
         row_v = rows[index[v]]
         folded = np.minimum(rows, rows[:, u, None] + (row_v + 1))
         np.minimum(folded, rows[:, v, None] + (row_u + 1), out=folded)
-        return Fold(index, folded, self._unreachable)
+        return Fold(index, folded, self._unreachable, self._weights)
 
     def split(self, u: int, v: int) -> "Fold":
         """A new fold with bridge ``uv`` removed (endpoints tracked).
@@ -470,8 +556,12 @@ class Fold:
         cross |= tracked_v_side[:, None] & cols_u_side[None, :]
         folded = rows.copy()
         folded[cross] = self._unreachable
-        return Fold(index, folded, self._unreachable)
+        return Fold(index, folded, self._unreachable, self._weights)
 
     def dist_total(self, node: int) -> int:
-        """Exact distance total of a tracked node under the folded deltas."""
-        return int(self._rows[self._index[node]].sum())
+        """Exact (weighted) distance total of a tracked node under the
+        folded deltas."""
+        position = self._index[node]
+        if self._weights is None:
+            return int(self._rows[position].sum())
+        return int((self._weights[position] * self._rows[position]).sum())

@@ -19,6 +19,7 @@ import networkx as nx
 import numpy as np
 
 from repro._alpha import AlphaLike, as_alpha, big_m, fits_int64
+from repro.core.traffic import TrafficMatrix
 from repro.graphs.distances import DistanceMatrix, canonical_labels
 from repro.graphs.trees import is_tree
 
@@ -35,6 +36,15 @@ class GameState:
         (a copy is always taken — mutating the input later is safe).
     alpha:
         Edge price; int, float, ``str`` or ``Fraction`` (kept exact).
+    traffic:
+        Optional :class:`~repro.core.traffic.TrafficMatrix` of per-pair
+        demands.  ``None`` (and the bit-exactly equivalent
+        ``TrafficMatrix.uniform(n)``) gives the paper's uniform cost
+        model through the original unweighted code paths; a non-uniform
+        matrix switches every cost to
+        ``alpha * deg(u) + sum_v W[u, v] * d(u, v)`` with the big
+        constant ``M`` re-sized so disconnecting any positive-demand
+        pair still dominates every possible saving.
 
     >>> state = GameState(nx.star_graph(3), 2)
     >>> state.cost(0)            # center: 3 edges bought, distance 3
@@ -43,7 +53,12 @@ class GameState:
     True
     """
 
-    def __init__(self, graph: nx.Graph, alpha: AlphaLike):
+    def __init__(
+        self,
+        graph: nx.Graph,
+        alpha: AlphaLike,
+        traffic: TrafficMatrix | None = None,
+    ):
         if graph.number_of_nodes() == 0:
             raise ValueError("the game needs at least one agent")
         if any(u == v for u, v in graph.edges):
@@ -53,20 +68,51 @@ class GameState:
         self.alpha: Fraction = as_alpha(alpha)
         if self.alpha <= 0:
             raise ValueError("alpha must be positive")
-        self.m_constant = big_m(self.n, self.alpha)
-        if not fits_int64(self.m_constant * self.n):
+        if traffic is not None and traffic.n != self.n:
             raise ValueError(
-                "alpha and n too large for exact int64 distance arithmetic"
+                f"traffic matrix is for n={traffic.n}, game has n={self.n}"
+            )
+        self.traffic = traffic
+        if self.weighted:
+            # the weighted disconnection constant: one unit of unmet
+            # demand (the smallest positive) must dominate any buying
+            # saving (<= alpha * n) plus any real weighted distance
+            # (<= (n - 1) * max_row_mass); the uniform formula is the
+            # special case max_row_mass = n - 1
+            self.m_constant = max(
+                self.n,
+                int(self.alpha * self.n) + self.n * traffic.max_row_mass + 1,
+            )
+            headroom = self.m_constant * max(traffic.max_row_mass, self.n)
+        else:
+            self.m_constant = big_m(self.n, self.alpha)
+            headroom = self.m_constant * self.n
+        if not fits_int64(headroom):
+            raise ValueError(
+                "alpha, n and demand mass too large for exact int64 "
+                "distance arithmetic"
             )
         self._dist: DistanceMatrix | None = None
 
     # -- structure ---------------------------------------------------------
 
     @property
+    def weighted(self) -> bool:
+        """Whether a non-uniform traffic matrix governs this state's costs.
+
+        Uniform traffic (``None`` or ``TrafficMatrix.uniform``) keeps
+        every layer on the original unweighted code paths — the
+        byte-exact equivalence guarantee.
+        """
+        return self.traffic is not None and not self.traffic.is_uniform
+
+    @property
     def dist(self) -> DistanceMatrix:
         """Cached all-pairs distances (``M`` for disconnected pairs)."""
         if self._dist is None:
             self._dist = DistanceMatrix(self.graph, self.m_constant)
+            if self.weighted:
+                self._dist.bind_traffic(self.traffic.weights)
         return self._dist
 
     @property
@@ -108,7 +154,13 @@ class GameState:
         return self.alpha * self.graph.degree(u)
 
     def dist_cost(self, u: int) -> int:
-        """``dist(u) = sum_v d(u, v)`` with ``M`` per unreachable agent."""
+        """``dist(u) = sum_v W[u, v] * d(u, v)`` (``W = 1``: uniform).
+
+        Unreachable agents carry ``M`` per unit of demand.  Served by the
+        engine's incrementally maintained totals in both regimes.
+        """
+        if self.weighted:
+            return self.dist.wtotal(u)
         return self.dist.total(u)
 
     def cost(self, u: int) -> Fraction:
@@ -117,7 +169,10 @@ class GameState:
 
     def social_cost(self) -> Fraction:
         """``sum_u cost(u) = 2 * alpha * m + sum_u dist(u)``."""
-        total_dist = int(self.dist.totals().sum())
+        if self.weighted:
+            total_dist = int(self.dist.wtotals().sum())
+        else:
+            total_dist = int(self.dist.totals().sum())
         return 2 * self.alpha * self.graph.number_of_edges() + total_dist
 
     def optimum_cost(self) -> Fraction:
@@ -126,7 +181,18 @@ class GameState:
         return optimum_cost(self.n, self.alpha)
 
     def rho(self) -> Fraction:
-        """Social cost ratio ``rho(G) = cost(G) / cost(OPT)``."""
+        """Social cost ratio ``rho(G) = cost(G) / cost(OPT)``.
+
+        Defined against the paper's closed-form *uniform* optimum, so it
+        is only meaningful for uniform traffic; weighted states compare
+        within an enumerated family instead
+        (:func:`repro.analysis.poa.empirical_weighted_poa`).
+        """
+        if self.weighted:
+            raise ValueError(
+                "rho() compares against the uniform optimum; for weighted "
+                "traffic use repro.analysis.poa.empirical_weighted_poa"
+            )
         from repro.core.optimum import social_cost_ratio
 
         return social_cost_ratio(self)
@@ -134,8 +200,8 @@ class GameState:
     # -- derived states ------------------------------------------------------
 
     def with_graph(self, graph: nx.Graph) -> "GameState":
-        """A new state with the same ``alpha`` but a different graph."""
-        return GameState(graph, self.alpha)
+        """A new state with the same ``alpha``/traffic, a different graph."""
+        return GameState(graph, self.alpha, traffic=self.traffic)
 
     def apply(self, move) -> "GameState":
         """State after applying a :class:`repro.core.moves.Move`.
@@ -179,6 +245,7 @@ class GameState:
         successor.n = self.n
         successor.alpha = self.alpha
         successor.m_constant = self.m_constant
+        successor.traffic = self.traffic
         successor._dist = dist
         return successor
 

@@ -35,6 +35,7 @@ import networkx as nx
 
 from repro.core.concepts import Concept
 from repro.core.state import GameState
+from repro.core.traffic import TrafficMatrix
 from repro.dynamics.movegen import improving_moves
 from repro.dynamics.schedulers import Scheduler, first_improvement_scheduler
 
@@ -56,6 +57,11 @@ class DynamicsResult:
     def rho_trace(self) -> list[Fraction]:
         from repro.core.optimum import optimum_cost
 
+        if self.final.weighted:
+            raise ValueError(
+                "rho_trace compares against the uniform optimum; weighted "
+                "trajectories compare social_costs directly"
+            )
         opt = optimum_cost(self.final.n, self.final.alpha)
         return [cost / opt for cost in self.social_costs]
 
@@ -71,16 +77,19 @@ def run_dynamics(
     scheduler: Scheduler = first_improvement_scheduler,
     max_rounds: int = 10_000,
     rng: random.Random | None = None,
+    traffic: TrafficMatrix | None = None,
 ) -> DynamicsResult:
     """Run improving-move dynamics under ``concept`` from ``graph``.
 
     Returns a :class:`DynamicsResult`; ``converged`` means the final state
     admits no improving move of the concept's move space (within the
-    generator's documented budget for BNE/BSE).
+    generator's documented budget for BNE/BSE).  Pass ``traffic`` to run
+    the dynamics under a heterogeneous demand matrix — move generation,
+    scheduling and convergence all use the weighted costs.
     """
     if rng is None:
         rng = random.Random(0)
-    state = GameState(graph, alpha)
+    state = GameState(graph, alpha, traffic=traffic)
     result = DynamicsResult(final=state)
     result.social_costs.append(state.social_cost())
     seen = {_graph_key(state.graph)}

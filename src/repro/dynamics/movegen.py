@@ -47,6 +47,7 @@ from repro.equilibria.neighborhood import (
     find_improving_neighborhood_move,
     probe_neighborhood_moves,
 )
+from repro.equilibria.remove import weighted_improving_removals
 from repro.equilibria.strong import probe_coalition_moves
 from repro.equilibria.swap import viable_swap_partners
 from repro.graphs.distances import adjacency_bool
@@ -56,6 +57,12 @@ __all__ = ["improving_moves", "move_generator_for"]
 
 
 def _improving_removals(state: GameState) -> Iterator[RemoveEdge]:
+    if state.weighted:
+        # zero demand toward a bridge's far side makes its removal free,
+        # so bridges cannot be skipped; the scan is shared with the RE
+        # checker (repro.equilibria.remove) so the two cannot disagree
+        yield from weighted_improving_removals(state)
+        return
     dm = state.dist
     for u, v in list(state.graph.edges):
         # bridges can never be improving removals (disconnection costs at
@@ -116,7 +123,8 @@ def _improving_swaps_general(state: GameState) -> Iterator[Swap]:
     never leave the shared matrix in a speculative state.
     """
     dm = state.dist
-    totals = dm.totals()
+    weights = state.traffic.weights if state.weighted else None
+    totals = dm.wtotals() if state.weighted else dm.totals()
     threshold = strict_gt_threshold(state.alpha)
     adjacency = adjacency_bool(state.graph)
     for a, b in list(state.graph.edges):
@@ -130,7 +138,8 @@ def _improving_swaps_general(state: GameState) -> Iterator[Swap]:
         try:
             for actor, old in ((a, b), (b, a)):
                 for new in viable_swap_partners(
-                    removed, totals, adjacency, threshold, actor, old
+                    removed, totals, adjacency, threshold, actor, old,
+                    weights=weights,
                 ):
                     found.append(Swap(actor=actor, old=old, new=int(new)))
         finally:
@@ -140,7 +149,10 @@ def _improving_swaps_general(state: GameState) -> Iterator[Swap]:
 
 
 def _improving_swaps(state: GameState) -> Iterator[Swap]:
-    if state.is_tree():
+    # the closed-form tree path vectorises uniform side sums; weighted
+    # states take the general engine path (mutation-free on trees, where
+    # every edge is a bridge)
+    if state.is_tree() and not state.weighted:
         yield from _improving_swaps_tree(state)
     else:
         yield from _improving_swaps_general(state)

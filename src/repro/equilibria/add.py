@@ -19,6 +19,7 @@ import numpy as np
 from repro._alpha import strict_gt_threshold
 from repro.core.moves import AddEdge
 from repro.core.state import GameState
+from repro.graphs.distances import weighted_added_edge_dist_gain
 
 __all__ = [
     "add_gain",
@@ -31,7 +32,11 @@ __all__ = [
 
 
 def add_gain(state: GameState, u: int, v: int) -> int:
-    """Distance gain of agent ``u`` when edge ``uv`` is created."""
+    """(Weighted) distance gain of agent ``u`` when edge ``uv`` is created."""
+    if state.weighted:
+        return weighted_added_edge_dist_gain(
+            state.dist_matrix, state.traffic.weights[u], u, v
+        )
     return state.dist.add_gain(u, v)
 
 
@@ -39,15 +44,21 @@ def pairwise_add_gains(state: GameState) -> np.ndarray:
     """Matrix ``G`` with ``G[u, v]`` = distance gain of ``u`` from edge ``uv``.
 
     ``G`` is not symmetric.  Entries on the diagonal and for existing edges
-    are meaningless and set to zero.
+    are meaningless and set to zero.  Under a traffic model each row's
+    relu improvements are weighted by ``u``'s demand row (one extra
+    matrix-vector product per agent — same ``O(n^3)`` total).
     """
     dist = state.dist_matrix
     n = state.n
+    weights = state.traffic.weights if state.weighted else None
     gains = np.zeros((n, n), dtype=np.int64)
     for u in range(n):
         improvement = dist[u][None, :] - dist - 1  # row v: against partner v
         np.maximum(improvement, 0, out=improvement)
-        gains[u] = improvement.sum(axis=1)
+        if weights is None:
+            gains[u] = improvement.sum(axis=1)
+        else:
+            gains[u] = improvement @ weights[u]
     gains[np.arange(n), np.arange(n)] = 0
     for u, v in state.graph.edges:
         gains[u, v] = 0

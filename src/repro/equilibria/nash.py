@@ -116,7 +116,9 @@ def _strategy_cost_speculative(
     state = spec.state
     deltas = _deviation_deltas(state, kept, agent, strategy)
     with spec.applied(deltas):
-        dist_after = spec.engine.total(agent)
+        # current_dist dispatches to the demand-weighted total when the
+        # state carries a traffic model (plain row sum otherwise)
+        dist_after = spec.current_dist(agent)
     return state.alpha * len(strategy) + dist_after
 
 
@@ -186,11 +188,17 @@ def is_unilateral_remove_equilibrium(
     state: GameState, assignment: EdgeAssignment
 ) -> bool:
     """No owner gains by dropping one of *her own* edges (Prop. 2.2 uses
-    the quantification over all assignments; this checks a fixed one)."""
+    the quantification over all assignments; this checks a fixed one).
+
+    Removal losses come from :func:`repro.equilibria.remove.removal_loss`
+    — the traffic-aware definition shared with the bilateral RE checker,
+    so a weighted state's zero-demand bridge drops are found here too.
+    """
+    from repro.equilibria.remove import removal_loss
+
     assignment.validate(state.graph)
     for (u, v), owner in assignment.owner.items():
         other = v if owner == u else u
-        loss = state.dist.remove_loss(owner, other)
-        if loss < state.alpha:
+        if removal_loss(state, owner, other) < state.alpha:
             return False
     return True

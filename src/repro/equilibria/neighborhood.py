@@ -37,6 +37,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro._alpha import strict_gt_threshold
 from repro._rng import RngLike, coerce_rng
 from repro.core.moves import NeighborhoodMove
@@ -64,12 +66,22 @@ def partner_gain_upper_bound(state: GameState, partner: int, center: int) -> int
     Every strictly shorter path for ``partner`` passes through ``center``
     (all changed edges are incident to ``center``), hence ends at distance at
     least 2 — except the distance to ``center`` itself, which can drop to 1.
+    The argument is purely metric, so under a traffic model each term is
+    simply weighted by ``partner``'s (non-negative) demand toward the
+    destination — still a sound bound on the weighted gain.
     """
     row = state.dist.row(partner)
     slack = row - 2
+    to_center = int(row[center])
+    if state.weighted:
+        weights = state.traffic.weights[partner]
+        bound = int((weights * np.maximum(slack, 0)).sum())
+        w_center = int(weights[center])
+        bound -= w_center * max(0, to_center - 2)
+        bound += w_center * max(0, to_center - 1)
+        return bound
     bound = int(slack[slack > 0].sum())
     # correct the center term: admissible floor is 1, not 2
-    to_center = int(row[center])
     bound -= max(0, to_center - 2)
     bound += max(0, to_center - 1)
     return bound
@@ -125,10 +137,10 @@ def find_improving_neighborhood_move(
                 f"center {center}: deg={len(neighbors)}, "
                 f"willing={len(willing)} exceeds budget {max_evaluations}"
             )
-        center_dist = state.dist.total(center)
-        # alpha * (|A| - |R|) < dist(center) - (n - 1) is necessary for the
-        # center to strictly benefit (best imaginable distance total is n-1).
-        slack = center_dist - (state.n - 1)
+        # alpha * (|A| - |R|) < dist(center) - floor(center) is necessary
+        # for the center to strictly benefit (the best imaginable distance
+        # total is n - 1 uniform, the center's demand mass weighted).
+        slack = spec.base_dist(center) - spec.dist_floor(center)
         remove_cap = len(neighbors) if max_remove is None else max_remove
         add_cap = len(willing) if max_add is None else min(max_add, len(willing))
         move = _dfs_center_space(

@@ -4,39 +4,86 @@ Dropping edge ``uv`` saves ``alpha`` and raises ``u``'s distance cost by
 
     loss(u, uv) = dist_{G - uv}(u) - dist_G(u),
 
-so ``u`` improves iff ``loss < alpha`` (exact integer vs Fraction).  Bridges
-never qualify: disconnection costs at least ``M > alpha * n^3``.  By
-Proposition A.2 the RE coincides with the Pure Nash Equilibrium of the BNCG,
-so this checker doubles as the bilateral NE test.
+so ``u`` improves iff ``loss < alpha`` (exact integer vs Fraction).  Under
+the uniform cost model bridges never qualify: disconnection costs at least
+``M > alpha * n^3``.  By Proposition A.2 the RE coincides with the Pure
+Nash Equilibrium of the BNCG, so this checker doubles as the bilateral NE
+test.
 
 Trees are RE for every ``alpha`` (every edge is a bridge); the checker
 shortcuts that case.
+
+**Heterogeneous traffic** changes the bridge story: an agent with *zero*
+demand toward a bridge's far side pays nothing for the disconnection, so
+bridge removals can be improving and must be evaluated, not skipped.  The
+weighted checker charges each bridge removal through the engine's
+search-free two-component split — the far side's entries jump to the
+``M`` sentinel and the loss is the actor's demand mass toward that side
+times ``M`` minus the saved real distances — and only non-bridges pay a
+probe BFS, exactly like the uniform path.
 """
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.core.moves import RemoveEdge
 from repro.core.state import GameState
 
-__all__ = ["find_improving_removal", "is_remove_equilibrium", "removal_loss"]
+__all__ = [
+    "find_improving_removal",
+    "is_remove_equilibrium",
+    "removal_loss",
+    "weighted_improving_removals",
+]
 
 
 def removal_loss(state: GameState, actor: int, other: int) -> int:
-    """Distance-cost increase for ``actor`` when edge ``actor-other`` goes."""
+    """(Weighted) distance-cost increase for ``actor`` when edge
+    ``actor-other`` goes."""
     after = state.dist.row_after_remove(actor, other)
+    if state.weighted:
+        weights = state.traffic.weights[actor]
+        return int((weights * (after - state.dist.row(actor))).sum())
     return int((after - state.dist.row(actor)).sum())
+
+
+def weighted_improving_removals(state: GameState) -> Iterator[RemoveEdge]:
+    """All improving removals of a *weighted* state, enumeration order.
+
+    Evaluates every edge — bridges included, through the engine's
+    mutation-free split weighting each side's demand mass (zero demand
+    across the cut makes a bridge droppable).  Losses are demand-weighted
+    row diffs straight off the engine (no per-round totals snapshot),
+    and the single scan is shared by the RE checker and the removal move
+    generator so the two can never disagree.
+    """
+    dm = state.dist
+    weights = state.traffic.weights
+    for u, v in list(state.graph.edges):
+        row_u, row_v = dm.rows_after_remove(u, v)
+        loss_u = int((weights[u] * (row_u - dm.matrix[u])).sum())
+        loss_v = int((weights[v] * (row_v - dm.matrix[v])).sum())
+        for actor, other, loss in ((u, v, loss_u), (v, u, loss_v)):
+            if loss < state.alpha:
+                yield RemoveEdge(actor=actor, other=other)
+                break  # the edge can only be removed once
 
 
 def find_improving_removal(state: GameState) -> RemoveEdge | None:
     """First improving single-edge removal, or ``None`` (exact, O(m * m)).
 
-    Bridges are skipped straight off the engine's incrementally
-    maintained bridge set (no per-check Tarjan pass); both endpoints'
-    post-removal losses for the remaining edges come from the engine's
-    batched speculative query — the same path the kernel's
+    Uniform states skip bridges straight off the engine's incrementally
+    maintained bridge set (no per-check Tarjan pass) — and trees
+    entirely; both endpoints' post-removal losses for the remaining
+    edges come from the engine's batched speculative query — the same
+    path the kernel's
     :meth:`~repro.core.speculative.SpeculativeEvaluator.remove_loss_pair`
     delegates to (one BFS pair per edge; the graph is never mutated).
+    Weighted states take :func:`weighted_improving_removals`.
     """
+    if state.weighted:
+        return next(weighted_improving_removals(state), None)
     if state.is_tree():
         return None  # removing any tree edge disconnects: loss >= M > alpha
     dm = state.dist

@@ -124,8 +124,8 @@ def _dfs_coalition_space(
       (``alpha * (buy_delta + 1) >= base_dist - (n - 1)``) dooms every
       candidate containing that edge.
     """
-    floor = spec.state.n - 1
-    slack = {m: spec.base_dist(m) - floor for m in members}
+    # per-member distance floor: n - 1 uniform, demand mass weighted
+    slack = {m: spec.base_dist(m) - spec.dist_floor(m) for m in members}
     # future_incident[m][i] = removable edges at index >= i incident to m
     future_incident = {}
     for m in members:
@@ -193,14 +193,15 @@ def _dfs_coalition_space(
                 - future_incident[m][next_start]
             )
             if addable:
-                # distances can still recover, but never below n - 1
+                # distances can still recover, but never below the floor
                 bound = slack[m]
             else:
                 # pure-removal subtree: distances are monotone from here
+                # (weights are non-negative, so weighted totals are too)
                 dist_now = (
                     fold.dist_total(m)
                     if fold is not None
-                    else int(spec.engine.matrix[m].sum())
+                    else spec.current_dist(m)
                 )
                 bound = spec.base_dist(m) - dist_now
             if not spec.alpha_lt(count, bound):

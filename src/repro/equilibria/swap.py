@@ -43,19 +43,29 @@ def viable_swap_partners(
     threshold: int,
     actor: int,
     old: int,
+    weights: np.ndarray | None = None,
 ) -> np.ndarray:
     """Partners ``w`` for which swap ``(actor, old -> w)`` is improving.
 
     ``removed`` is the exact APSP matrix of ``G - {actor, old}``; gains come
     from the one-edge-add identity.  Shared by the BSwE checker and the swap
     move generator so the two can never disagree.  Ascending node order.
+
+    With a demand matrix ``weights``, ``totals`` must be the *weighted*
+    base totals and both gain vectors weight each candidate row by the
+    owner's demand row — the same ``O(n^2)`` evaluation, one extra
+    elementwise product.
     """
     # actor's new distances with partner w:  min(rm[actor], 1 + rm[w])
     actor_rows = np.minimum(removed[actor][None, :], 1 + removed)
-    gain_actor = int(totals[actor]) - actor_rows.sum(axis=1)
     # partner w's new distances:             min(rm[w], 1 + rm[actor])
     partner_rows = np.minimum(removed, (1 + removed[actor])[None, :])
-    gain_w = totals - partner_rows.sum(axis=1)
+    if weights is None:
+        gain_actor = int(totals[actor]) - actor_rows.sum(axis=1)
+        gain_w = totals - partner_rows.sum(axis=1)
+    else:
+        gain_actor = int(totals[actor]) - actor_rows @ weights[actor]
+        gain_w = totals - (partner_rows * weights).sum(axis=1)
     viable = (gain_actor >= 1) & (gain_w >= threshold)
     viable[actor] = False
     viable[old] = False
@@ -109,7 +119,8 @@ def _find_swap_tree(state: GameState) -> Swap | None:
 
 def _find_swap_general(state: GameState) -> Swap | None:
     dm = state.dist
-    totals = dm.totals()
+    weights = state.traffic.weights if state.weighted else None
+    totals = dm.wtotals() if state.weighted else dm.totals()
     w_threshold = strict_gt_threshold(state.alpha)
     graph = state.graph
     adjacency = adjacency_bool(graph)
@@ -126,7 +137,8 @@ def _find_swap_general(state: GameState) -> Swap | None:
         try:
             for actor, old in ((a, b), (b, a)):
                 candidates = viable_swap_partners(
-                    removed, totals, adjacency, w_threshold, actor, old
+                    removed, totals, adjacency, w_threshold, actor, old,
+                    weights=weights,
                 )
                 if candidates.size:
                     return Swap(actor=actor, old=old, new=int(candidates[0]))
@@ -137,10 +149,16 @@ def _find_swap_general(state: GameState) -> Swap | None:
 
 
 def find_improving_swap(state: GameState) -> Swap | None:
-    """First mutually improving swap, or ``None`` (exact)."""
+    """First mutually improving swap, or ``None`` (exact).
+
+    Weighted states always take the general engine-backed path: the
+    closed-form tree evaluation vectorises over *uniform* side sums, and
+    on trees every edge is a bridge anyway, so the general path stays
+    mutation-free there.
+    """
     if state.n < 3 or state.graph.number_of_edges() == 0:
         return None
-    if state.is_tree():
+    if state.is_tree() and not state.weighted:
         return _find_swap_tree(state)
     return _find_swap_general(state)
 

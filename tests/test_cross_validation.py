@@ -8,6 +8,11 @@ constructions), asserting **bit-exact agreement at every step** between
 * the in-place :class:`~repro.graphs.distances.DistanceMatrix` and a fresh
   scipy APSP of the mutated graph,
 * the incrementally maintained ``totals()`` and a fresh row sum,
+* the incrementally maintained weighted ``wtotals()`` (uniform and
+  random demand matrices) and a fresh weighted row sum, plus weighted
+  per-agent costs along ``GameState.apply`` chains vs naive
+  recomputation — with the ``WTOTALS_REBUILDS`` spy proving exactly one
+  weighted row-sum per engine and zero along trajectories,
 * the incrementally maintained bridge set and a from-scratch naive
   recompute (edge is a bridge iff deleting it disconnects its endpoints —
   re-derived by BFS per edge, independent of the chain decomposition),
@@ -35,6 +40,7 @@ from repro.constructions.basic import clique, complete_binary_tree, cycle, star
 from repro.core.moves import AddEdge, RemoveEdge, Swap
 from repro.core.speculative import SpeculativeEvaluator
 from repro.core.state import GameState
+from repro.core.traffic import TrafficMatrix
 from repro.dynamics.schedulers import random_improvement_scheduler
 from repro.graphs import bridges as bridges_mod
 from repro.graphs import distances as distances_mod
@@ -272,6 +278,120 @@ class TestCostCrossValidation:
             if partners:
                 return Swap(actor=actor, old=old, new=rng.choice(partners))
         return None
+
+
+# -- weighted totals: the traffic-model engine arm ---------------------------
+
+
+def demand_matrix(n: int, seed: int) -> np.ndarray:
+    """Uniform every third seed, random integer demands otherwise.
+
+    Random matrices include zero entries (``high`` starts at 0) so the
+    zero-demand regime rides every trajectory family.
+    """
+    if seed % 3 == 0:
+        return TrafficMatrix.uniform(n).weights
+    return TrafficMatrix.random_demands(n, seed=seed, high=4).weights
+
+
+class TestWeightedTotalsCrossValidation:
+    """``wtotals()`` vs a fresh weighted row sum at every trajectory step."""
+
+    def test_wtotals_match_naive_along_trajectories(self):
+        for seed in range(25):
+            rng = random.Random(100_000 + seed)
+            family = FAMILIES[seed % len(FAMILIES)]
+            graph = start_graph(family, rng)
+            n = graph.number_of_nodes()
+            weights = demand_matrix(n, seed)
+            dm = DistanceMatrix(graph, UNREACHABLE)
+            dm.bind_traffic(weights)
+            rebuilds_before = distances_mod.wtotals_rebuild_count()
+            assert (
+                dm.wtotals()
+                == (apsp_matrix(graph, UNREACHABLE) * weights).sum(axis=1)
+            ).all()
+            assert (
+                distances_mod.wtotals_rebuild_count() == rebuilds_before + 1
+            )
+            for _ in range(STEPS):
+                if random_step(dm, graph, rng) is None:
+                    continue
+                fresh = apsp_matrix(graph, UNREACHABLE)
+                assert (dm.wtotals() == (fresh * weights).sum(axis=1)).all()
+                # uniform demand: the weighted vector is the uniform one
+                if (weights == TrafficMatrix.uniform(n).weights).all():
+                    assert (dm.wtotals() == dm.totals()).all()
+            # incrementality: exactly one weighted row-sum per engine
+            assert (
+                distances_mod.wtotals_rebuild_count() == rebuilds_before + 1
+            )
+
+    def test_undo_restores_wtotals(self):
+        for seed in range(15):
+            rng = random.Random(110_000 + seed)
+            graph = start_graph(FAMILIES[seed % len(FAMILIES)], rng)
+            n = graph.number_of_nodes()
+            weights = demand_matrix(n, seed + 1)
+            dm = DistanceMatrix(graph, UNREACHABLE)
+            dm.bind_traffic(weights)
+            before = dm.wtotals()
+            tokens = []
+            for _ in range(STEPS):
+                token = random_step(dm, graph, rng)
+                if token is not None:
+                    tokens.append(token)
+            for token in reversed(tokens):
+                dm.undo(token)
+            assert (dm.wtotals() == before).all()
+
+    def test_asymmetric_demands_stay_exact(self):
+        """Only the *distance* matrix is symmetric; W need not be."""
+        rng = random.Random(7)
+        graph = random_connected_gnp(9, 0.35, rng)
+        weights = np.arange(81, dtype=np.int64).reshape(9, 9).copy()
+        np.fill_diagonal(weights, 0)
+        dm = DistanceMatrix(graph, UNREACHABLE)
+        dm.bind_traffic(weights)
+        dm.wtotals()
+        for _ in range(15):
+            random_step(dm, graph, rng)
+            fresh = apsp_matrix(graph, UNREACHABLE)
+            assert (dm.wtotals() == (fresh * weights).sum(axis=1)).all()
+
+    def test_weighted_costs_match_naive_along_apply_chains(self):
+        for seed in range(20):
+            rng = random.Random(120_000 + seed)
+            n = rng.randint(3, 9)
+            graph = random_connected_gnp(n, 0.35, rng)
+            alpha = Fraction(rng.randint(1, 9), rng.choice((1, 2)))
+            traffic = (
+                TrafficMatrix.uniform(n)
+                if seed % 3 == 0
+                else TrafficMatrix.random_demands(n, seed=seed, high=4)
+            )
+            state = GameState(graph, alpha, traffic=traffic)
+            state.dist  # materialise so apply() hands the engine off
+            rebuilds_before = distances_mod.wtotals_rebuild_count()
+            for _ in range(6):
+                move = TestCostCrossValidation._random_move(state, rng)
+                if move is None:
+                    break
+                state = state.apply(move)
+                expected_social = Fraction(0)
+                fresh = apsp_matrix(state.graph, state.m_constant)
+                for agent in range(state.n):
+                    expected = state.alpha * state.graph.degree(agent) + int(
+                        (traffic.weights[agent] * fresh[agent]).sum()
+                    )
+                    assert state.cost(agent) == expected
+                    expected_social += expected
+                assert state.social_cost() == expected_social
+            # weighted trajectories pay at most one weighted row-sum
+            # (zero when the uniform dispatch never touches wtotals)
+            assert (
+                distances_mod.wtotals_rebuild_count() <= rebuilds_before + 1
+            )
 
 
 # -- spy counters: the maintenance is genuinely incremental -----------------
