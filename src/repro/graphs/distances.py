@@ -70,6 +70,18 @@ endpoint among the patched rows, the shift
     ``totals[rows] += delta.sum(axis=1) - delta[:, rows].sum(axis=1)``
 
 (with ``delta`` the patched rows' new-minus-old values) is exact.
+
+When a **traffic matrix** is bound (:meth:`DistanceMatrix.bind_traffic`),
+the per-row *weighted* totals ``wtotals()`` — ``sum_v W[u, v] * d(u, v)``
+for an int64 demand matrix ``W`` — are maintained by the same discipline:
+one full weighted row-sum at first query (counted by the
+:data:`WTOTALS_REBUILDS` spy), then every ``apply_*`` / ``undo`` shifts
+the cached vector from the very same row patches.  The shift generalises
+the uniform one entry-wise (``d`` is symmetric, ``W`` need not be):
+column ``y`` gains ``sum_{x in rows} W[y, x] * delta[x, y]`` and patched
+row ``x`` additionally gains its own weighted row delta minus the
+doubly-counted patched-column part — ``O(|affected| * n)`` per mutation,
+never a full re-sum.
 """
 
 from __future__ import annotations
@@ -104,6 +116,8 @@ __all__ = [
     "single_source_distances",
     "total_distances",
     "totals_rebuild_count",
+    "weighted_added_edge_dist_gain",
+    "wtotals_rebuild_count",
 ]
 
 #: Number of full APSP builds since import — a test/benchmark spy used to
@@ -114,6 +128,12 @@ APSP_BUILDS = 0
 #: — a spy used to assert that totals are maintained incrementally along
 #: move trajectories (one rebuild at materialisation, then zero).
 TOTALS_REBUILDS = 0
+
+#: Number of full O(n^2) weighted row-sum rebuilds of the per-row weighted
+#: totals since import — the traffic-model counterpart of
+#: :data:`TOTALS_REBUILDS`: one rebuild at first ``wtotals()`` query per
+#: engine, zero along move trajectories.
+WTOTALS_REBUILDS = 0
 
 #: Number of ``apply_remove`` calls that entered the BFS-repair path since
 #: import — a spy used to assert that bridge removals (forests included)
@@ -129,6 +149,11 @@ def apsp_build_count() -> int:
 def totals_rebuild_count() -> int:
     """How many full totals re-sums have been performed since import."""
     return TOTALS_REBUILDS
+
+
+def wtotals_rebuild_count() -> int:
+    """How many full weighted-totals re-sums have been performed."""
+    return WTOTALS_REBUILDS
 
 
 def remove_bfs_repair_count() -> int:
@@ -332,6 +357,19 @@ def added_edge_dist_gain(dist: np.ndarray, u: int, v: int) -> int:
     return int(improvement[improvement > 0].sum())
 
 
+def weighted_added_edge_dist_gain(
+    dist: np.ndarray, weights_row: np.ndarray, u: int, v: int
+) -> int:
+    """Demand-weighted decrease of ``dist(u)`` when edge ``uv`` is added.
+
+    ``weights_row`` is agent ``u``'s demand row; the single definition
+    shared by the BAE checker and the speculative kernel so the two can
+    never disagree on a weighted gain.
+    """
+    improvement = np.maximum(dist[u] - (1 + dist[v]), 0)
+    return int((weights_row * improvement).sum())
+
+
 def removed_edge_dist_vector(
     graph: nx.Graph, u: int, v: int, unreachable: int
 ) -> np.ndarray:
@@ -414,6 +452,8 @@ class DistanceMatrix:
         self._graph = graph
         self._csr: csr_matrix | None = None
         self._totals: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+        self._wtotals: np.ndarray | None = None
         self._version = 0
         # the exact bridge set powers the search-free split removal path on
         # any graph; built once here (chain decomposition), then maintained
@@ -449,19 +489,85 @@ class DistanceMatrix:
             self._totals = self.matrix.sum(axis=1)
         return self._totals
 
+    # -- weighted totals (heterogeneous traffic) ----------------------------
+
+    def bind_traffic(self, weights: np.ndarray) -> None:
+        """Attach an int64 per-pair demand matrix ``W`` to the engine.
+
+        Enables the incrementally maintained weighted totals
+        ``wtotals()[u] = sum_v W[u, v] * d(u, v)``.  The caller (normally
+        :class:`repro.core.state.GameState`) is responsible for the
+        overflow headroom check ``fits_int64(unreachable * max_row_mass)``;
+        a cheap guard here re-asserts it.  Re-binding the same array is a
+        no-op; binding a different demand matrix drops the cached vector.
+        """
+        weights = np.asarray(weights)
+        if weights.shape != (self.n, self.n):
+            raise ValueError(
+                f"demand matrix shape {weights.shape} does not match n={self.n}"
+            )
+        if weights.dtype != np.int64:
+            raise ValueError("demand matrix must be int64 (exact arithmetic)")
+        if self._weights is weights:
+            return
+        if not fits_int64(self.unreachable * int(weights.sum(axis=1).max())):
+            raise ValueError(
+                "demand mass too large for exact int64 weighted totals"
+            )
+        self._weights = weights
+        self._wtotals = None
+
+    def wtotal(self, u: int) -> int:
+        """``sum_v W[u, v] * d(u, v)`` from the maintained weighted totals."""
+        return int(self._wtotals_live()[u])
+
+    def wtotals(self) -> np.ndarray:
+        """Per-node weighted totals as a snapshot copy.
+
+        Requires a bound traffic matrix (:meth:`bind_traffic`).  The
+        first call pays one full weighted row-sum (spy-counted by
+        :data:`WTOTALS_REBUILDS`); afterwards ``apply_*`` / ``undo``
+        shift the cached vector in place.
+        """
+        return self._wtotals_live().copy()
+
+    def _wtotals_live(self) -> np.ndarray:
+        global WTOTALS_REBUILDS
+        if self._weights is None:
+            raise RuntimeError(
+                "no traffic matrix bound; call bind_traffic() first"
+            )
+        if self._wtotals is None:
+            WTOTALS_REBUILDS += 1
+            self._wtotals = (self.matrix * self._weights).sum(axis=1)
+        return self._wtotals
+
     def _shift_totals(self, rows: np.ndarray, old: np.ndarray) -> None:
-        """Shift cached totals by the change ``matrix[rows] - old``.
+        """Shift cached (weighted) totals by the change ``matrix[rows] - old``.
 
         Exact because the matrix is symmetric and every changed entry has
         at least one endpoint among ``rows`` (the patch invariant of
-        ``apply_add`` / ``apply_remove``).
+        ``apply_add`` / ``apply_remove``).  The weighted shift reads the
+        demand entry of each changed pair from the bound traffic matrix;
+        demands may be asymmetric, only distances must be symmetric.
         """
         totals = self._totals
-        if totals is None:
+        wtotals = self._wtotals
+        if totals is None and wtotals is None:
             return
         delta = self.matrix[rows] - old
-        totals += delta.sum(axis=0)
-        totals[rows] += delta.sum(axis=1) - delta[:, rows].sum(axis=1)
+        if totals is not None:
+            totals += delta.sum(axis=0)
+            totals[rows] += delta.sum(axis=1) - delta[:, rows].sum(axis=1)
+        if wtotals is not None:
+            weights = self._weights
+            # column y gains sum_{x in rows} W[y, x] * delta[x, y] ...
+            wtotals += (weights[:, rows] * delta.T).sum(axis=1)
+            # ... and each patched row additionally gains its own weighted
+            # row delta, minus the patched-column part already counted
+            wtotals[rows] += (weights[rows] * delta).sum(axis=1) - (
+                weights[np.ix_(rows, rows)] * delta[:, rows]
+            ).sum(axis=1)
 
     def eccentricity(self, u: int) -> int:
         return int(self.matrix[u].max())
