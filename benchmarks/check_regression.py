@@ -36,6 +36,10 @@ TRACKED = {
     # the 0.7 tolerance on a ~0.9 baseline caps the weighted engine at
     # ~1.6x of uniform — well past the 1.3x design target
     "BENCH_weighted_totals": ("workloads", "speedup"),
+    # cost-model overhead: speedup = base/modeled seconds on identical
+    # workloads (LinearCost dispatch, f-table sweeps/trajectories, the
+    # max aggregate's max-with-counts maintenance)
+    "BENCH_costmodel_overhead": ("workloads", "speedup"),
 }
 
 

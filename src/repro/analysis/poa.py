@@ -19,6 +19,7 @@ from repro._alpha import AlphaLike, as_alpha
 from repro.analysis.bounds import proposition_3_1_bound
 from repro.constructions.basic import almost_complete_dary_tree
 from repro.core.concepts import Concept
+from repro.core.costmodel import CostModel
 from repro.core.costs import max_agent_cost
 from repro.core.state import GameState
 from repro.core.traffic import TrafficMatrix
@@ -151,23 +152,28 @@ def empirical_weighted_poa(
     n: int,
     alpha: AlphaLike,
     concept: Concept,
-    traffic: TrafficMatrix,
+    traffic: TrafficMatrix | None = None,
     k: int | None = None,
     trees_only: bool = True,
+    cost_model: CostModel | None = None,
 ) -> WeightedPoAResult:
-    """Worst equilibrium vs family optimum under a demand matrix.
+    """Worst equilibrium vs family optimum under a demand matrix and/or a
+    cost model.
 
     Enumerates the same family as :func:`empirical_tree_poa` /
     :func:`empirical_poa` (one labelled representative per isomorphism
-    class), checks each representative against the *weighted* concept
-    checkers, and divides the worst equilibrium's weighted social cost
-    by the family's minimum weighted social cost.  With
-    ``TrafficMatrix.uniform(n)`` the checkers run the unweighted code
-    paths, and whenever the closed-form optimum lies inside the
-    enumerated family — for trees that is ``alpha >= 1``, where the
-    optimum is the star — the ratio reproduces the uniform PoA exactly
-    (for ``alpha < 1`` the uniform optimum is the clique, so the
-    tree-family ratio is denominated by the cheapest tree instead).
+    class), checks each representative against the *weighted/modeled*
+    concept checkers, and divides the worst equilibrium's social cost by
+    the family's minimum social cost.  With
+    ``TrafficMatrix.uniform(n)`` (and a linear or absent ``cost_model``)
+    the checkers run the unweighted code paths, and whenever the
+    closed-form optimum lies inside the enumerated family — for trees
+    that is ``alpha >= 1``, where the optimum is the star — the ratio
+    reproduces the uniform PoA exactly (for ``alpha < 1`` the uniform
+    optimum is the clique, so the tree-family ratio is denominated by
+    the cheapest tree instead).  Non-linear models have no closed-form
+    optimum at all, so the family-relative ratio is the definition of
+    record for them.
     """
     price = as_alpha(alpha)
     graphs = all_trees(n) if trees_only else all_connected_graphs(n)
@@ -178,7 +184,7 @@ def empirical_weighted_poa(
     candidates = 0
     for graph in graphs:
         candidates += 1
-        state = GameState(graph, price, traffic=traffic)
+        state = GameState(graph, price, traffic=traffic, cost_model=cost_model)
         cost = state.social_cost()
         if best is None or cost < best:
             best = cost
@@ -219,7 +225,17 @@ def bse_upper_bound_via_dary_tree(
 
 
 def re_upper_bound_via_prop_3_1(state: GameState) -> Fraction:
-    """Best Proposition 3.1 bound over all nodes of a connected RE graph."""
+    """Best Proposition 3.1 bound over all nodes of a connected RE graph.
+
+    The proposition's arithmetic is linear in raw distances, so it is
+    undefined for non-linear cost models — modeled states raise rather
+    than silently bounding the wrong game.
+    """
+    if state.modeled:
+        raise ValueError(
+            "Proposition 3.1 bounds the linear game; modeled states have "
+            "no closed-form RE bound"
+        )
     totals = state.dist.totals()
     best = min(int(value) for value in totals)
     return proposition_3_1_bound(state.n, state.alpha, best)

@@ -26,6 +26,10 @@ Built-in reducers:
 ``weighted_poa_table``
     Traffic-regime-by-alpha rows against concept columns, cells the
     family-relative weighted PoA of the matching ``weighted_poa`` trial.
+``costmodel_poa_table``
+    Cost-model-regime-by-alpha rows against concept columns, cells the
+    family-relative PoA of the matching ``generalized_poa`` trial —
+    the linear-vs-concave-vs-convex-vs-max separation rendering.
 ``poa_fit``
     PoA-vs-alpha scaling fits (:mod:`repro.analysis.fitting`): one row
     per concept column with the ``rho ~ log2(alpha)`` slope, the
@@ -51,6 +55,7 @@ __all__ = [
     "REDUCERS",
     "convergence_stats",
     "reduce_convergence",
+    "reduce_costmodel_poa_table",
     "reduce_poa_fit",
     "reduce_poa_table",
     "reduce_trial_table",
@@ -153,6 +158,49 @@ def reduce_weighted_poa_table(
                     cells.append(float(poa) if poa else "-")
             rows.append(cells)
     headers = ["traffic", "alpha"] + [column["header"] for column in columns]
+    return render_table(headers, rows, title=title)
+
+
+def reduce_costmodel_poa_table(
+    spec: CampaignSpec, store: CampaignStore, options: Mapping[str, Any]
+) -> str:
+    """Cost-model-by-alpha rows against concept columns (``generalized_poa``).
+
+    Options: ``n``, ``alphas``, ``models`` (list of ``{"label",
+    "costmodel", "traffic"?}`` with the same spec dicts the grid used),
+    ``columns`` (``{"header", "concept", "k"?, "params"?}``), optional
+    ``kind`` and ``title``.  Cells are the family-relative PoA under the
+    regime's cost model; trials not yet in the store render as ``?``,
+    equilibrium-free cells as ``-``.  A regime's ``traffic`` key is only
+    written into the trial parameters when present, so the lookup matches
+    grids that omit the traffic axis entirely.
+    """
+    n = int(options["n"])
+    kind = options.get("kind", spec.kind)
+    alphas = [as_alpha(a) for a in options["alphas"]]
+    models = list(options["models"])
+    columns = list(options["columns"])
+    title = options.get(
+        "title", "Family-relative PoA by cost model (n={n})"
+    ).format(n=n)
+
+    rows = []
+    for regime in models:
+        for alpha in alphas:
+            cells: list[Any] = [regime["label"], alpha]
+            for column in columns:
+                params = _column_params(n, alpha, column)
+                params["costmodel"] = regime["costmodel"]
+                if regime.get("traffic") is not None:
+                    params["traffic"] = regime["traffic"]
+                result = store.result(trial_key(kind, params))
+                if result is None:
+                    cells.append("?")
+                else:
+                    poa = result["poa"]
+                    cells.append(float(poa) if poa else "-")
+            rows.append(cells)
+    headers = ["model", "alpha"] + [column["header"] for column in columns]
     return render_table(headers, rows, title=title)
 
 
@@ -363,6 +411,7 @@ REDUCERS: dict[str, Reducer] = {
     "convergence": reduce_convergence,
     "trial_table": reduce_trial_table,
     "weighted_poa_table": reduce_weighted_poa_table,
+    "costmodel_poa_table": reduce_costmodel_poa_table,
 }
 
 

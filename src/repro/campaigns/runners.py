@@ -162,6 +162,53 @@ def run_weighted_poa(
     }
 
 
+@runner("generalized_poa")
+def run_generalized_poa(
+    params: Mapping[str, Any], base_seed: int
+) -> dict[str, Any]:
+    """Family-relative worst-case PoA under a pluggable cost model.
+
+    ``params["costmodel"]`` is a **required** JSON-able cost-model spec
+    (:func:`repro.core.costmodel.costmodel_from_spec`) — part of the
+    trial's content hash for the same single-spelling reason as the
+    ``weighted_poa`` runner's traffic axis (use ``{"model": "linear"}``
+    for the paper's game).  An optional ``traffic`` spec composes a
+    demand matrix with the model.  Deterministic; the base seed is
+    unused.
+    """
+    from repro.analysis.poa import empirical_weighted_poa
+    from repro.core.costmodel import costmodel_from_spec
+    from repro.core.traffic import traffic_from_spec
+
+    n = int(params["n"])
+    if params.get("costmodel") is None:
+        raise ValueError(
+            "generalized_poa trials need an explicit 'costmodel' spec "
+            '(use {"model": "linear"} for the paper\'s game)'
+        )
+    cost_model = costmodel_from_spec(params["costmodel"], n)
+    traffic = traffic_from_spec(params.get("traffic"), n)
+    family = params.get("family", "trees")
+    if family not in ("trees", "graphs"):
+        raise ValueError(f"unknown graph family {family!r}")
+    result = empirical_weighted_poa(
+        n,
+        params["alpha"],
+        _concept(params),
+        traffic,
+        k=params.get("k"),
+        trees_only=family == "trees",
+        cost_model=cost_model,
+    )
+    return {
+        "poa": result.poa,
+        "worst_cost": result.worst_cost,
+        "best_cost": result.best_cost,
+        "equilibria": result.equilibria,
+        "candidates": result.candidates,
+    }
+
+
 def _figure_registry():
     from repro.constructions.figures import (
         figure2_nash_not_pairwise_stable,
@@ -238,8 +285,16 @@ def run_ladder_classify(
     derived seed for the exponential concepts' probe fallbacks — fully
     reproducible at any worker count.  Results carry per-concept
     ``stable`` / ``exhaustive`` flags.
+
+    An optional ``costmodel`` spec re-classifies the same seeded
+    instance under a generalized cost regime (the start graph draw does
+    not depend on the model, so linear-vs-concave-vs-max rows of a sweep
+    see identical instances).  Modeled trials report the exact
+    ``social_cost`` instead of ``rho`` (no linear optimum to divide by);
+    trials without the axis are byte-identical to the historical result.
     """
     from repro.analysis.search import classify_full_ladder
+    from repro.core.costmodel import costmodel_from_spec
     from repro.core.state import GameState
     from repro.graphs.generation import random_connected_gnp, random_tree
 
@@ -247,6 +302,7 @@ def run_ladder_classify(
     index = int(params["index"])
     start = params.get("start", "tree")
     alpha = params["alpha"]
+    cost_model = costmodel_from_spec(params.get("costmodel"), n)
     rng = coerce_rng(derive_seed(base_seed, "ladder", n, str(alpha), start, index))
     if start == "tree":
         graph = random_tree(n, rng)
@@ -254,15 +310,20 @@ def run_ladder_classify(
         graph = random_connected_gnp(n, float(params.get("p", 0.3)), rng)
     else:
         raise ValueError(f"unknown start family {start!r}")
-    state = GameState(graph, alpha)
+    state = GameState(graph, alpha, cost_model=cost_model)
     reports = classify_full_ladder(
         state,
         max_coalition_size=int(params.get("max_coalition_size", 3)),
         seed=derive_seed(base_seed, "ladder-probe", n, str(alpha), start, index),
         probe_samples=int(params.get("probe_samples", 2000)),
     )
+    headline = (
+        {"social_cost": state.social_cost()}
+        if state.modeled
+        else {"rho": state.rho()}
+    )
     return {
-        "rho": state.rho(),
+        **headline,
         "ladder": {
             concept.name: {
                 "stable": bool(report.stable),

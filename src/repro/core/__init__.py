@@ -1,6 +1,15 @@
 """Game core: states, costs, optima, moves, and the concept ladder."""
 
 from repro.core.state import GameState
+from repro.core.costmodel import (
+    ConcaveCost,
+    ConvexCost,
+    CostModel,
+    LinearCost,
+    MaxCost,
+    TableCost,
+    costmodel_from_spec,
+)
 from repro.core.costs import (
     agent_cost,
     agent_cost_after,
@@ -31,18 +40,25 @@ from repro.core.traffic import TrafficMatrix, traffic_from_spec
 __all__ = [
     "AddEdge",
     "CoalitionMove",
+    "ConcaveCost",
     "Concept",
+    "ConvexCost",
+    "CostModel",
     "GameState",
+    "LinearCost",
+    "MaxCost",
     "Move",
     "MoveEvaluation",
     "NeighborhoodMove",
     "RemoveEdge",
     "SpeculativeEvaluator",
     "Swap",
+    "TableCost",
     "TrafficMatrix",
     "agent_cost",
     "agent_cost_after",
     "cost_strictly_less",
+    "costmodel_from_spec",
     "evaluation_count",
     "optimum_cost",
     "optimum_graph",

@@ -53,6 +53,18 @@ Contract (extends the PR-1 engine contract):
   the searchers' size pruning becomes the agent's demand mass.  Uniform
   states bypass all weighted arithmetic and stay bit-exact with the
   historical behaviour.
+* **pluggable cost models** — when the state carries a non-linear
+  :class:`~repro.core.costmodel.CostModel`, every "distance total" above
+  is the model value ``sum_v W[u, v] * f(d(u, v))`` (or the max
+  aggregate): base snapshots, live reads, rows-only evaluations and
+  :class:`Fold` totals all map hypothetical distance rows through the
+  model's int table at the aggregation boundary — the rows themselves
+  stay raw distances, so the add identity and the bridge split are
+  untouched.  The pruning floor generalises to the model's
+  ``floors()`` (demand mass times ``f(1)``, max-weight times ``f(1)``
+  for max aggregates), sound because ``f`` is monotone: removals only
+  grow distances, hence only grow model values.  Linear models keep
+  every historical code path bit-exactly.
 
 The module-level :data:`EVALUATIONS` spy counts candidate evaluations so
 tests can assert that a refactored searcher inspects exactly the same
@@ -128,18 +140,32 @@ class SpeculativeEvaluator:
         self.engine = state.dist  # materialises the cached APSP once
         self.graph = state.graph  # the same object the engine mutates
         self.alpha = state.alpha
+        # a non-linear cost model routes every total below through its
+        # value arithmetic; the weighted-linear branch is then never
+        # taken (the ops object owns the demand matrix itself)
+        self._ops = state.model_ops if state.modeled else None
         # heterogeneous traffic: a non-uniform demand matrix switches
         # every distance total below to the weighted row dot product;
         # uniform states keep the historical plain row sums bit-exactly
         self._weights = (
-            state.traffic.weights if state.weighted else None
+            state.traffic.weights
+            if state.weighted and self._ops is None
+            else None
         )
         # plain-int snapshots: row sums read straight off the matrix (no
         # forced materialisation of the engine's incremental totals) and
         # the adjacency dict the engine mutates in place, so per-candidate
         # queries cost a handful of C-level ops
         self._adj = self.graph._adj
-        if self._weights is None:
+        if self._ops is not None:
+            self._base_totals = [
+                int(value) for value in self._ops.totals(self.engine.matrix)
+            ]
+            # the model's own floor: every destination sits at distance
+            # >= 1 and f is monotone, so no value total can ever drop
+            # below mass * f(1) (max-weight * f(1) for max aggregates)
+            self._floors = [int(value) for value in self._ops.floors()]
+        elif self._weights is None:
             self._base_totals = [
                 int(value) for value in self.engine.matrix.sum(axis=1)
             ]
@@ -217,7 +243,10 @@ class SpeculativeEvaluator:
         return len(self._adj[agent]) - self._base_degrees[agent]
 
     def current_dist(self, agent: int) -> int:
-        """``agent``'s (weighted) distance total on the live matrix."""
+        """``agent``'s distance total (model value when modeled) on the
+        live matrix."""
+        if self._ops is not None:
+            return self._ops.row_value(agent, self.engine.matrix[agent])
         if self._weights is None:
             return int(self.engine.matrix[agent].sum())
         return int((self._weights[agent] * self.engine.matrix[agent]).sum())
@@ -226,15 +255,19 @@ class SpeculativeEvaluator:
         """The smallest distance total ``agent`` can ever reach.
 
         ``n - 1`` uniform (everyone at distance 1); the agent's demand
-        mass under a traffic model.  The sound lower bound behind the
-        searchers' size pruning.
+        mass under a traffic model; the model's ``mass * f(1)`` analogue
+        when a cost model is bound (sound since ``f`` is monotone).  The
+        lower bound behind the searchers' size pruning.
         """
         if self._floors is None:
             return self.state.n - 1
         return self._floors[agent]
 
     def row_dist(self, agent: int, row: np.ndarray) -> int:
-        """The (weighted) distance total of a hypothetical distance row."""
+        """The distance total (model value when modeled) of a hypothetical
+        distance row."""
+        if self._ops is not None:
+            return self._ops.row_value(agent, row)
         if self._weights is None:
             return int(row.sum())
         return int((self._weights[agent] * row).sum())
@@ -417,8 +450,19 @@ class SpeculativeEvaluator:
     # -- delegated speculative queries (engine fast paths) ------------------
 
     def add_gain_pair(self, u: int, v: int) -> tuple[int, int]:
-        """(Weighted) distance gains of both endpoints when edge ``uv`` is
-        added (one-edge-add identity; no mutation, no search)."""
+        """(Weighted/model-valued) distance gains of both endpoints when
+        edge ``uv`` is added (one-edge-add identity; no mutation, no
+        search)."""
+        if self._ops is not None:
+            matrix = self.engine.matrix
+            new_u = np.minimum(matrix[u], 1 + matrix[v])
+            new_v = np.minimum(matrix[v], 1 + matrix[u])
+            return (
+                self._ops.row_value(u, matrix[u])
+                - self._ops.row_value(u, new_u),
+                self._ops.row_value(v, matrix[v])
+                - self._ops.row_value(v, new_v),
+            )
         if self._weights is None:
             return self.engine.add_gain(u, v), self.engine.add_gain(v, u)
         matrix = self.engine.matrix
@@ -428,11 +472,11 @@ class SpeculativeEvaluator:
         )
 
     def remove_loss_pair(self, u: int, v: int) -> tuple[int, int]:
-        """(Weighted) distance losses of both endpoints when edge ``uv`` is
-        removed (a matrix read for bridges — each side charged by its
-        demand mass toward the far side — one batched BFS on the cached
-        CSR otherwise; no mutation)."""
-        if self._weights is None:
+        """(Weighted/model-valued) distance losses of both endpoints when
+        edge ``uv`` is removed (a matrix read for bridges — each side
+        charged by its demand mass toward the far side — one batched BFS
+        on the cached CSR otherwise; no mutation)."""
+        if self._weights is None and self._ops is None:
             return self.engine.remove_loss_pair(u, v)
         row_u, row_v = self.engine.rows_after_remove(u, v)
         return (
@@ -454,10 +498,27 @@ class SpeculativeEvaluator:
         — and removal subsets whose dropped edges are bridges of the
         folded graph — evaluate without touching the engine at all.
         Under a traffic model the fold carries the tracked agents'
-        demand rows, so its ``dist_total`` answers are weighted.
+        demand rows, so its ``dist_total`` answers are weighted; under a
+        cost model it carries the model's value map and aggregate, so
+        ``dist_total`` answers are model values (the rows themselves stay
+        raw distances — extend/split are untouched).
         """
         order = list(nodes)
         index = {node: position for position, node in enumerate(order)}
+        if self._ops is not None:
+            weights = (
+                None
+                if self._ops.weights is None
+                else self._ops.weights[order]
+            )
+            return Fold(
+                index,
+                self.engine.matrix[order],
+                self.engine.unreachable,
+                weights,
+                f_apply=self._ops.apply_f,
+                f_max=self._ops.aggregate == "max",
+            )
         weights = None if self._weights is None else self._weights[order]
         return Fold(
             index, self.engine.matrix[order], self.engine.unreachable, weights
@@ -496,7 +557,9 @@ class Fold:
     (:meth:`SpeculativeEvaluator.best`).
     """
 
-    __slots__ = ("_index", "_rows", "_unreachable", "_weights")
+    __slots__ = (
+        "_index", "_rows", "_unreachable", "_weights", "_f_apply", "_f_max"
+    )
 
     def __init__(
         self,
@@ -504,6 +567,8 @@ class Fold:
         rows: np.ndarray,
         unreachable: int,
         weights: np.ndarray | None = None,
+        f_apply=None,
+        f_max: bool = False,
     ):
         self._index = index
         self._rows = rows
@@ -511,6 +576,10 @@ class Fold:
         # demand rows of the tracked nodes (aligned with ``rows``); None
         # means uniform traffic and plain row sums
         self._weights = weights
+        # cost-model value map and aggregate flag: rows stay raw
+        # distances, the map applies only inside dist_total
+        self._f_apply = f_apply
+        self._f_max = f_max
 
     def restrict(self, nodes: Sequence[int]) -> "Fold":
         """A fold tracking only ``nodes`` (e.g. drop removable-edge
@@ -523,6 +592,8 @@ class Fold:
             self._rows[positions],
             self._unreachable,
             None if self._weights is None else self._weights[positions],
+            f_apply=self._f_apply,
+            f_max=self._f_max,
         )
 
     def extend(self, u: int, v: int) -> "Fold":
@@ -533,7 +604,10 @@ class Fold:
         row_v = rows[index[v]]
         folded = np.minimum(rows, rows[:, u, None] + (row_v + 1))
         np.minimum(folded, rows[:, v, None] + (row_u + 1), out=folded)
-        return Fold(index, folded, self._unreachable, self._weights)
+        return Fold(
+            index, folded, self._unreachable, self._weights,
+            f_apply=self._f_apply, f_max=self._f_max,
+        )
 
     def split(self, u: int, v: int) -> "Fold":
         """A new fold with bridge ``uv`` removed (endpoints tracked).
@@ -556,12 +630,23 @@ class Fold:
         cross |= tracked_v_side[:, None] & cols_u_side[None, :]
         folded = rows.copy()
         folded[cross] = self._unreachable
-        return Fold(index, folded, self._unreachable, self._weights)
+        return Fold(
+            index, folded, self._unreachable, self._weights,
+            f_apply=self._f_apply, f_max=self._f_max,
+        )
 
     def dist_total(self, node: int) -> int:
-        """Exact (weighted) distance total of a tracked node under the
-        folded deltas."""
+        """Exact distance total (model value when a cost model is bound)
+        of a tracked node under the folded deltas."""
         position = self._index[node]
+        row = self._rows[position]
+        if self._f_apply is not None:
+            values = self._f_apply(row)
+            if self._weights is not None:
+                values = self._weights[position] * values
+            if self._f_max:
+                return int(values.max())
+            return int(values.sum())
         if self._weights is None:
-            return int(self._rows[position].sum())
-        return int((self._weights[position] * self._rows[position]).sum())
+            return int(row.sum())
+        return int((self._weights[position] * row).sum())

@@ -19,6 +19,7 @@ import networkx as nx
 import numpy as np
 
 from repro._alpha import AlphaLike, as_alpha, big_m, fits_int64
+from repro.core.costmodel import CostModel, ModelOps
 from repro.core.traffic import TrafficMatrix
 from repro.graphs.distances import DistanceMatrix, canonical_labels
 from repro.graphs.trees import is_tree
@@ -45,6 +46,17 @@ class GameState:
         ``alpha * deg(u) + sum_v W[u, v] * d(u, v)`` with the big
         constant ``M`` re-sized so disconnecting any positive-demand
         pair still dominates every possible saving.
+    cost_model:
+        Optional :class:`~repro.core.costmodel.CostModel` replacing the
+        linear distance term by ``sum_v W[u, v] * f(d(u, v))`` (or the
+        max aggregate) for a monotone int-valued ``f``.  ``None`` and
+        :class:`~repro.core.costmodel.LinearCost` (``is_linear``) give
+        the paper's game through the original code paths byte-exactly;
+        any other model flips :attr:`modeled` and routes every layer
+        through the model's value arithmetic, with unreachable pairs
+        carrying the model's own value sentinel ``F`` (the distance
+        machinery and its ``M`` are untouched — values are mapped at the
+        aggregation boundary).
 
     >>> state = GameState(nx.star_graph(3), 2)
     >>> state.cost(0)            # center: 3 edges bought, distance 3
@@ -58,6 +70,7 @@ class GameState:
         graph: nx.Graph,
         alpha: AlphaLike,
         traffic: TrafficMatrix | None = None,
+        cost_model: CostModel | None = None,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("the game needs at least one agent")
@@ -92,6 +105,31 @@ class GameState:
                 "alpha, n and demand mass too large for exact int64 "
                 "distance arithmetic"
             )
+        if cost_model is not None and not isinstance(cost_model, CostModel):
+            raise TypeError(
+                f"cost_model must be a CostModel, got {cost_model!r}"
+            )
+        self.cost_model = cost_model
+        self._model_ops: ModelOps | None = None
+        if self.modeled:
+            mass = (
+                traffic.max_row_mass if traffic is not None else self.n - 1
+            )
+            f_unreachable = cost_model.unreachable_cost(
+                self.n, self.alpha, mass
+            )
+            if not fits_int64(f_unreachable * max(mass, self.n)):
+                raise ValueError(
+                    "alpha, n, demand mass and cost table too large for "
+                    "exact int64 model-value arithmetic"
+                )
+            self._model_ops = ModelOps(
+                self.n,
+                cost_model.table(self.n),
+                f_unreachable,
+                weights=self.traffic.weights if self.weighted else None,
+                aggregate=cost_model.aggregate,
+            )
         self._dist: DistanceMatrix | None = None
 
     # -- structure ---------------------------------------------------------
@@ -107,12 +145,31 @@ class GameState:
         return self.traffic is not None and not self.traffic.is_uniform
 
     @property
+    def modeled(self) -> bool:
+        """Whether a non-linear cost model governs this state's costs.
+
+        ``None`` and ``LinearCost`` keep every layer on the original
+        (un)weighted code paths — the byte-exact equivalence guarantee,
+        mirroring :attr:`weighted` for uniform traffic.
+        """
+        return self.cost_model is not None and not self.cost_model.is_linear
+
+    @property
+    def model_ops(self) -> ModelOps:
+        """The bound model-value arithmetic (modeled states only)."""
+        if self._model_ops is None:
+            raise ValueError("this state has no non-linear cost model")
+        return self._model_ops
+
+    @property
     def dist(self) -> DistanceMatrix:
         """Cached all-pairs distances (``M`` for disconnected pairs)."""
         if self._dist is None:
             self._dist = DistanceMatrix(self.graph, self.m_constant)
             if self.weighted:
                 self._dist.bind_traffic(self.traffic.weights)
+            if self._model_ops is not None:
+                self._dist.bind_cost_model(self._model_ops)
         return self._dist
 
     @property
@@ -154,11 +211,15 @@ class GameState:
         return self.alpha * self.graph.degree(u)
 
     def dist_cost(self, u: int) -> int:
-        """``dist(u) = sum_v W[u, v] * d(u, v)`` (``W = 1``: uniform).
+        """``dist(u) = sum_v W[u, v] * f(d(u, v))`` (``W = 1``: uniform,
+        ``f = id``: linear; max aggregate under :class:`MaxCost`).
 
-        Unreachable agents carry ``M`` per unit of demand.  Served by the
-        engine's incrementally maintained totals in both regimes.
+        Unreachable agents carry ``M`` per unit of demand (the model's
+        ``F`` sentinel when modeled).  Served by the engine's
+        incrementally maintained totals in every regime.
         """
+        if self.modeled:
+            return self.dist.ftotal(u)
         if self.weighted:
             return self.dist.wtotal(u)
         return self.dist.total(u)
@@ -169,7 +230,9 @@ class GameState:
 
     def social_cost(self) -> Fraction:
         """``sum_u cost(u) = 2 * alpha * m + sum_u dist(u)``."""
-        if self.weighted:
+        if self.modeled:
+            total_dist = int(self.dist.ftotals().sum())
+        elif self.weighted:
             total_dist = int(self.dist.wtotals().sum())
         else:
             total_dist = int(self.dist.totals().sum())
@@ -193,6 +256,12 @@ class GameState:
                 "rho() compares against the uniform optimum; for weighted "
                 "traffic use repro.analysis.poa.empirical_weighted_poa"
             )
+        if self.modeled:
+            raise ValueError(
+                "rho() compares against the linear uniform optimum; for a "
+                "non-linear cost model compare social costs within an "
+                "enumerated family (repro.analysis.poa.empirical_weighted_poa)"
+            )
         from repro.core.optimum import social_cost_ratio
 
         return social_cost_ratio(self)
@@ -200,8 +269,12 @@ class GameState:
     # -- derived states ------------------------------------------------------
 
     def with_graph(self, graph: nx.Graph) -> "GameState":
-        """A new state with the same ``alpha``/traffic, a different graph."""
-        return GameState(graph, self.alpha, traffic=self.traffic)
+        """A new state with the same ``alpha``/traffic/model, a different
+        graph."""
+        return GameState(
+            graph, self.alpha, traffic=self.traffic,
+            cost_model=self.cost_model,
+        )
 
     def apply(self, move) -> "GameState":
         """State after applying a :class:`repro.core.moves.Move`.
@@ -246,6 +319,8 @@ class GameState:
         successor.alpha = self.alpha
         successor.m_constant = self.m_constant
         successor.traffic = self.traffic
+        successor.cost_model = self.cost_model
+        successor._model_ops = self._model_ops
         successor._dist = dist
         return successor
 

@@ -34,6 +34,7 @@ from fractions import Fraction
 import networkx as nx
 
 from repro.core.concepts import Concept
+from repro.core.costmodel import CostModel
 from repro.core.state import GameState
 from repro.core.traffic import TrafficMatrix
 from repro.dynamics.movegen import improving_moves
@@ -57,10 +58,10 @@ class DynamicsResult:
     def rho_trace(self) -> list[Fraction]:
         from repro.core.optimum import optimum_cost
 
-        if self.final.weighted:
+        if self.final.weighted or self.final.modeled:
             raise ValueError(
-                "rho_trace compares against the uniform optimum; weighted "
-                "trajectories compare social_costs directly"
+                "rho_trace compares against the linear uniform optimum; "
+                "weighted/modeled trajectories compare social_costs directly"
             )
         opt = optimum_cost(self.final.n, self.final.alpha)
         return [cost / opt for cost in self.social_costs]
@@ -78,6 +79,7 @@ def run_dynamics(
     max_rounds: int = 10_000,
     rng: random.Random | None = None,
     traffic: TrafficMatrix | None = None,
+    cost_model: CostModel | None = None,
 ) -> DynamicsResult:
     """Run improving-move dynamics under ``concept`` from ``graph``.
 
@@ -85,11 +87,14 @@ def run_dynamics(
     admits no improving move of the concept's move space (within the
     generator's documented budget for BNE/BSE).  Pass ``traffic`` to run
     the dynamics under a heterogeneous demand matrix — move generation,
-    scheduling and convergence all use the weighted costs.
+    scheduling and convergence all use the weighted costs.  Pass
+    ``cost_model`` to run the generalized game: all costs route through
+    the model's ``f``/aggregate (``LinearCost`` stays byte-identical to
+    the default path).
     """
     if rng is None:
         rng = random.Random(0)
-    state = GameState(graph, alpha, traffic=traffic)
+    state = GameState(graph, alpha, traffic=traffic, cost_model=cost_model)
     result = DynamicsResult(final=state)
     result.social_costs.append(state.social_cost())
     seen = {_graph_key(state.graph)}

@@ -32,7 +32,13 @@ __all__ = [
 
 
 def add_gain(state: GameState, u: int, v: int) -> int:
-    """(Weighted) distance gain of agent ``u`` when edge ``uv`` is created."""
+    """(Weighted/model-valued) distance gain of agent ``u`` when edge
+    ``uv`` is created."""
+    if state.modeled:
+        ops = state.model_ops
+        dist = state.dist_matrix
+        new_row = np.minimum(dist[u], 1 + dist[v])
+        return ops.row_value(u, dist[u]) - ops.row_value(u, new_row)
     if state.weighted:
         return weighted_added_edge_dist_gain(
             state.dist_matrix, state.traffic.weights[u], u, v
@@ -46,12 +52,27 @@ def pairwise_add_gains(state: GameState) -> np.ndarray:
     ``G`` is not symmetric.  Entries on the diagonal and for existing edges
     are meaningless and set to zero.  Under a traffic model each row's
     relu improvements are weighted by ``u``'s demand row (one extra
-    matrix-vector product per agent — same ``O(n^3)`` total).
+    matrix-vector product per agent — same ``O(n^3)`` total).  Under a
+    cost model the gains are model-value drops: each hypothetical row
+    ``min(d(u, .), 1 + d(v, .))`` maps through the table and aggregates —
+    non-negative for sum and max aggregates alike since the new row is
+    entry-wise no larger and ``f`` is monotone.
     """
     dist = state.dist_matrix
     n = state.n
-    weights = state.traffic.weights if state.weighted else None
     gains = np.zeros((n, n), dtype=np.int64)
+    if state.modeled:
+        ops = state.model_ops
+        for u in range(n):
+            new_rows = np.minimum(dist[u][None, :], dist + 1)  # row v: edge uv
+            base = ops.row_value(u, dist[u])
+            gains[u] = base - ops.rows_value(u, new_rows)
+        gains[np.arange(n), np.arange(n)] = 0
+        for u, v in state.graph.edges:
+            gains[u, v] = 0
+            gains[v, u] = 0
+        return gains
+    weights = state.traffic.weights if state.weighted else None
     for u in range(n):
         improvement = dist[u][None, :] - dist - 1  # row v: against partner v
         np.maximum(improvement, 0, out=improvement)

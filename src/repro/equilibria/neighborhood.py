@@ -68,9 +68,37 @@ def partner_gain_upper_bound(state: GameState, partner: int, center: int) -> int
     least 2 — except the distance to ``center`` itself, which can drop to 1.
     The argument is purely metric, so under a traffic model each term is
     simply weighted by ``partner``'s (non-negative) demand toward the
-    destination — still a sound bound on the weighted gain.
+    destination — still a sound bound on the weighted gain.  Under a cost
+    model the same distance floors push through monotone ``f``: each
+    destination's value can drop at most to ``f(2)`` (``f(1)`` for the
+    center) for sum aggregates, and a max aggregate can never drop below
+    the agent's model floor.
     """
     row = state.dist.row(partner)
+    if state.modeled:
+        ops = state.model_ops
+        if ops.aggregate == "max":
+            # coarse but sound: the max value can never drop below the
+            # agent's floor (max-weight * f(1))
+            return ops.row_value(partner, row) - int(ops.floors()[partner])
+        table = ops.table
+        n = state.n
+        f1 = int(table[min(1, n - 1)])
+        f2 = int(table[min(2, n - 1)])
+        fvals = ops.apply_f(row)
+        slack = np.maximum(fvals - f2, 0)
+        f_center = int(fvals[center])
+        if ops.weights is not None:
+            weights = ops.weights[partner]
+            bound = int((weights * slack).sum())
+            w_center = int(weights[center])
+            bound -= w_center * max(0, f_center - f2)
+            bound += w_center * max(0, f_center - f1)
+            return bound
+        bound = int(slack.sum())
+        bound -= max(0, f_center - f2)
+        bound += max(0, f_center - f1)
+        return bound
     slack = row - 2
     to_center = int(row[center])
     if state.weighted:

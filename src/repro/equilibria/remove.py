@@ -21,6 +21,11 @@ search-free two-component split — the far side's entries jump to the
 ``M`` sentinel and the loss is the actor's demand mass toward that side
 times ``M`` minus the saved real distances — and only non-bridges pay a
 probe BFS, exactly like the uniform path.
+
+**Non-linear cost models** reuse the same every-edge scan with losses
+read through the model's value arithmetic (a zero-demand cut side makes
+a bridge droppable there too, and a max aggregate can be entirely
+indifferent to a removal).
 """
 
 from __future__ import annotations
@@ -33,15 +38,21 @@ from repro.core.state import GameState
 __all__ = [
     "find_improving_removal",
     "is_remove_equilibrium",
+    "modeled_improving_removals",
     "removal_loss",
     "weighted_improving_removals",
 ]
 
 
 def removal_loss(state: GameState, actor: int, other: int) -> int:
-    """(Weighted) distance-cost increase for ``actor`` when edge
-    ``actor-other`` goes."""
+    """(Weighted/model-valued) distance-cost increase for ``actor`` when
+    edge ``actor-other`` goes."""
     after = state.dist.row_after_remove(actor, other)
+    if state.modeled:
+        ops = state.model_ops
+        return ops.row_value(actor, after) - ops.row_value(
+            actor, state.dist.row(actor)
+        )
     if state.weighted:
         weights = state.traffic.weights[actor]
         return int((weights * (after - state.dist.row(actor))).sum())
@@ -70,6 +81,27 @@ def weighted_improving_removals(state: GameState) -> Iterator[RemoveEdge]:
                 break  # the edge can only be removed once
 
 
+def modeled_improving_removals(state: GameState) -> Iterator[RemoveEdge]:
+    """All improving removals of a *modeled* state, enumeration order.
+
+    The cost-model analogue of :func:`weighted_improving_removals`: every
+    edge — bridges included — is charged through the engine's
+    mutation-free removal query, with both endpoints' losses read as
+    model-value diffs.  Shared by the RE checker and the removal move
+    generator so the two can never disagree.
+    """
+    dm = state.dist
+    ops = state.model_ops
+    for u, v in list(state.graph.edges):
+        row_u, row_v = dm.rows_after_remove(u, v)
+        loss_u = ops.row_value(u, row_u) - ops.row_value(u, dm.matrix[u])
+        loss_v = ops.row_value(v, row_v) - ops.row_value(v, dm.matrix[v])
+        for actor, other, loss in ((u, v, loss_u), (v, u, loss_v)):
+            if loss < state.alpha:
+                yield RemoveEdge(actor=actor, other=other)
+                break  # the edge can only be removed once
+
+
 def find_improving_removal(state: GameState) -> RemoveEdge | None:
     """First improving single-edge removal, or ``None`` (exact, O(m * m)).
 
@@ -80,8 +112,11 @@ def find_improving_removal(state: GameState) -> RemoveEdge | None:
     path the kernel's
     :meth:`~repro.core.speculative.SpeculativeEvaluator.remove_loss_pair`
     delegates to (one BFS pair per edge; the graph is never mutated).
-    Weighted states take :func:`weighted_improving_removals`.
+    Weighted states take :func:`weighted_improving_removals`; modeled
+    states :func:`modeled_improving_removals`.
     """
+    if state.modeled:
+        return next(modeled_improving_removals(state), None)
     if state.weighted:
         return next(weighted_improving_removals(state), None)
     if state.is_tree():

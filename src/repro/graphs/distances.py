@@ -82,6 +82,23 @@ column ``y`` gains ``sum_{x in rows} W[y, x] * delta[x, y]`` and patched
 row ``x`` additionally gains its own weighted row delta minus the
 doubly-counted patched-column part — ``O(|affected| * n)`` per mutation,
 never a full re-sum.
+
+When a **cost model** is bound (:meth:`DistanceMatrix.bind_cost_model`),
+the per-row *model aggregates* ``ftotals()`` ride the very same row
+patches.  For a sum aggregate ``sum_v W[u, v] * f(d(u, v))`` the shift is
+the weighted shift applied to the entry-wise **value delta**
+``f(new) - f(old)`` instead of the distance delta (``f`` of a symmetric
+matrix is symmetric, so the same endpoint argument holds).  For a max
+aggregate ``max_v W[u, v] * f(d(u, v))`` the engine maintains each row's
+max *with its multiplicity*: a patched entry above the cached max raises
+it outright, one at the max bumps the count, and only a row whose
+count-at-max drains to zero pays a fresh ``O(n)`` row scan — still
+incremental maintenance, not a rebuild.  Either way the first query pays
+one full ``O(n^2)`` pass (spy-counted by :data:`FTOTALS_REBUILDS`), then
+zero along move trajectories.  Sentinel entries are exact here too: real
+distances are at most ``n - 1`` and the sentinel is at least ``n``, so
+``d >= n`` identifies unreachable pairs and maps them to the model's own
+value sentinel.
 """
 
 from __future__ import annotations
@@ -110,6 +127,7 @@ __all__ = [
     "added_edge_dist_gain",
     "component_labels",
     "dist_vector_after_add",
+    "ftotals_rebuild_count",
     "is_connected",
     "remove_bfs_repair_count",
     "removed_edge_dist_vector",
@@ -135,6 +153,14 @@ TOTALS_REBUILDS = 0
 #: engine, zero along move trajectories.
 WTOTALS_REBUILDS = 0
 
+#: Number of full O(n^2) model-value passes rebuilding the per-row cost
+#: aggregates since import — the cost-model counterpart of
+#: :data:`TOTALS_REBUILDS` / :data:`WTOTALS_REBUILDS`: one rebuild at first
+#: ``ftotals()`` query per engine, zero along move trajectories (max-row
+#: rescans triggered by a drained count are incremental maintenance and do
+#: not count).
+FTOTALS_REBUILDS = 0
+
 #: Number of ``apply_remove`` calls that entered the BFS-repair path since
 #: import — a spy used to assert that bridge removals (forests included)
 #: always take the search-free split path instead.
@@ -154,6 +180,11 @@ def totals_rebuild_count() -> int:
 def wtotals_rebuild_count() -> int:
     """How many full weighted-totals re-sums have been performed."""
     return WTOTALS_REBUILDS
+
+
+def ftotals_rebuild_count() -> int:
+    """How many full model-aggregate rebuilds have been performed."""
+    return FTOTALS_REBUILDS
 
 
 def remove_bfs_repair_count() -> int:
@@ -454,6 +485,9 @@ class DistanceMatrix:
         self._totals: np.ndarray | None = None
         self._weights: np.ndarray | None = None
         self._wtotals: np.ndarray | None = None
+        self._fbind = None
+        self._ftotals: np.ndarray | None = None
+        self._fcounts: np.ndarray | None = None
         self._version = 0
         # the exact bridge set powers the search-free split removal path on
         # any graph; built once here (chain decomposition), then maintained
@@ -542,6 +576,82 @@ class DistanceMatrix:
             self._wtotals = (self.matrix * self._weights).sum(axis=1)
         return self._wtotals
 
+    # -- model aggregates (pluggable distance-cost models) ------------------
+
+    def bind_cost_model(self, ops) -> None:
+        """Attach model-value arithmetic to the engine.
+
+        ``ops`` is duck-typed (the engine must not import ``repro.core``):
+        it needs ``.n``, ``.aggregate`` (``"sum"`` or ``"max"``),
+        ``.weights`` (``None`` or an int64 ``(n, n)`` demand matrix) and
+        ``.apply_f(dist) -> values`` mapping a distance array through the
+        model's table (sentinel distances ``>= n`` to the model's value
+        sentinel).  Enables the incrementally maintained per-row
+        aggregates :meth:`ftotals`.  The caller (normally
+        :class:`repro.core.state.GameState`) is responsible for value-
+        space overflow headroom.  Re-binding the same object is a no-op;
+        binding a different one drops the cached vectors.
+        """
+        if getattr(ops, "n", None) != self.n:
+            raise ValueError("cost model ops size does not match the engine")
+        if getattr(ops, "aggregate", None) not in ("sum", "max"):
+            raise ValueError("cost model ops must aggregate by sum or max")
+        if self._fbind is ops:
+            return
+        self._fbind = ops
+        self._ftotals = None
+        self._fcounts = None
+
+    def ftotal(self, u: int) -> int:
+        """Agent ``u``'s model aggregate from the maintained vector."""
+        return int(self._ftotals_live()[u])
+
+    def ftotals(self) -> np.ndarray:
+        """Per-node model aggregates as a snapshot copy.
+
+        Requires a bound cost model (:meth:`bind_cost_model`).  The first
+        call pays one full model-value pass (spy-counted by
+        :data:`FTOTALS_REBUILDS`); afterwards ``apply_*`` / ``undo``
+        shift the cached vector in place from the same row patches that
+        maintain ``totals()`` / ``wtotals()``.
+        """
+        return self._ftotals_live().copy()
+
+    def fmax_counts(self) -> np.ndarray:
+        """Per-row multiplicity of the max value (max aggregates only).
+
+        A test accessor: cross-validation asserts the maintained counts
+        match a naive recount at every trajectory step.
+        """
+        if self._fcounts is None:
+            raise RuntimeError("no max-aggregate cost model materialised")
+        return self._fcounts.copy()
+
+    def _fvalues(self, dist: np.ndarray) -> np.ndarray:
+        """Model values of a distance array under the bound ops (weighted
+        entry-wise by the demand matrix when one is attached)."""
+        ops = self._fbind
+        values = ops.apply_f(dist)
+        if ops.weights is not None:
+            values = values * ops.weights
+        return values
+
+    def _ftotals_live(self) -> np.ndarray:
+        global FTOTALS_REBUILDS
+        if self._fbind is None:
+            raise RuntimeError(
+                "no cost model bound; call bind_cost_model() first"
+            )
+        if self._ftotals is None:
+            FTOTALS_REBUILDS += 1
+            values = self._fvalues(self.matrix)
+            if self._fbind.aggregate == "max":
+                self._ftotals = values.max(axis=1)
+                self._fcounts = (values == self._ftotals[:, None]).sum(axis=1)
+            else:
+                self._ftotals = values.sum(axis=1)
+        return self._ftotals
+
     def _shift_totals(self, rows: np.ndarray, old: np.ndarray) -> None:
         """Shift cached (weighted) totals by the change ``matrix[rows] - old``.
 
@@ -553,7 +663,8 @@ class DistanceMatrix:
         """
         totals = self._totals
         wtotals = self._wtotals
-        if totals is None and wtotals is None:
+        ftotals = self._ftotals
+        if totals is None and wtotals is None and ftotals is None:
             return
         delta = self.matrix[rows] - old
         if totals is not None:
@@ -568,6 +679,79 @@ class DistanceMatrix:
             wtotals[rows] += (weights[rows] * delta).sum(axis=1) - (
                 weights[np.ix_(rows, rows)] * delta[:, rows]
             ).sum(axis=1)
+        if ftotals is not None:
+            self._shift_ftotals(rows, old)
+
+    def _shift_ftotals(self, rows: np.ndarray, old: np.ndarray) -> None:
+        """Shift the cached model aggregates for the patch ``rows``/``old``.
+
+        The value delta ``f(new) - f(old)`` inherits the distance delta's
+        symmetry and endpoint coverage, so for a **sum** aggregate the
+        weighted-totals shift applies verbatim in value space.  A **max**
+        aggregate instead maintains each row's max with its multiplicity:
+        only entries in the patched columns changed for an unpatched row,
+        so a new value above the cached max raises it (the fresh count
+        reads off the patched columns alone), equal values adjust the
+        count, and only a row whose count drains to zero is rescanned.
+        The update is symmetric in old/new, so :meth:`undo` drives it with
+        the pre-restore values as ``old`` and lands bit-exactly.
+        """
+        ops = self._fbind
+        ftotals = self._ftotals
+        fnew = ops.apply_f(self.matrix[rows])
+        fold_ = ops.apply_f(old)
+        if ops.aggregate != "max":
+            fdelta = fnew - fold_
+            if ops.weights is None:
+                ftotals += fdelta.sum(axis=0)
+                ftotals[rows] += fdelta.sum(axis=1) - fdelta[:, rows].sum(
+                    axis=1
+                )
+            else:
+                weights = ops.weights
+                ftotals += (weights[:, rows] * fdelta.T).sum(axis=1)
+                ftotals[rows] += (weights[rows] * fdelta).sum(axis=1) - (
+                    weights[np.ix_(rows, rows)] * fdelta[:, rows]
+                ).sum(axis=1)
+            return
+        fcounts = self._fcounts
+        # per-row weighted values of the changed entries, column view:
+        # vnew_cols[y, j] = W[y, rows[j]] * f(d'(y, rows[j]))
+        if ops.weights is None:
+            vnew_cols = fnew.T
+            vold_cols = fold_.T
+        else:
+            vnew_cols = ops.weights[:, rows] * fnew.T
+            vold_cols = ops.weights[:, rows] * fold_.T
+        colmax = vnew_cols.max(axis=1)
+        raised = colmax > ftotals
+        at_max = ftotals[:, None]
+        stay_counts = (
+            fcounts
+            - (vold_cols == at_max).sum(axis=1)
+            + (vnew_cols == at_max).sum(axis=1)
+        )
+        rescan = ~raised & (stay_counts <= 0)
+        # patched rows changed wholesale (their row is the patch itself):
+        # recompute them outright rather than reasoning per-column
+        rescan[rows] = True
+        update = raised & ~rescan
+        if update.any():
+            # every unpatched entry of an updated row is <= the old max
+            # < colmax, so the new max and its count live in the patched
+            # columns alone
+            ftotals[update] = colmax[update]
+            fcounts[update] = (
+                vnew_cols[update] == colmax[update, None]
+            ).sum(axis=1)
+        keep = ~raised & ~rescan
+        fcounts[keep] = stay_counts[keep]
+        if rescan.any():
+            values = ops.apply_f(self.matrix[rescan])
+            if ops.weights is not None:
+                values = values * ops.weights[rescan]
+            ftotals[rescan] = values.max(axis=1)
+            fcounts[rescan] = (values == ftotals[rescan, None]).sum(axis=1)
 
     def eccentricity(self, u: int) -> int:
         return int(self.matrix[u].max())

@@ -13,6 +13,12 @@ constructions), asserting **bit-exact agreement at every step** between
   per-agent costs along ``GameState.apply`` chains vs naive
   recomputation — with the ``WTOTALS_REBUILDS`` spy proving exactly one
   weighted row-sum per engine and zero along trajectories,
+* the incrementally maintained model aggregates ``ftotals()`` (linear,
+  concave, convex and max cost models, with and without demand
+  matrices) and a fresh per-entry recomputation — including the
+  max-aggregate's maintained multiplicity counts — with the
+  ``FTOTALS_REBUILDS`` spy proving exactly one model-value pass per
+  engine and zero along trajectories,
 * the incrementally maintained bridge set and a from-scratch naive
   recompute (edge is a bridge iff deleting it disconnects its endpoints —
   re-derived by BFS per edge, independent of the chain decomposition),
@@ -391,6 +397,184 @@ class TestWeightedTotalsCrossValidation:
             # (zero when the uniform dispatch never touches wtotals)
             assert (
                 distances_mod.wtotals_rebuild_count() <= rebuilds_before + 1
+            )
+
+
+# -- model aggregates: the cost-model engine arm ------------------------------
+
+
+MODEL_KINDS = ("linear", "concave", "convex", "max")
+
+
+def cost_model_for(kind: str):
+    from repro.core.costmodel import (
+        ConcaveCost,
+        ConvexCost,
+        LinearCost,
+        MaxCost,
+    )
+
+    return {
+        "linear": LinearCost(),
+        "concave": ConcaveCost(Fraction(1, 2)),
+        "convex": ConvexCost(2),
+        "max": MaxCost(),
+    }[kind]
+
+
+def model_ops_for(kind: str, n: int, weights):
+    """Engine-facing ops for one model (the binding GameState would make)."""
+    from repro.core.costmodel import ModelOps
+
+    model = cost_model_for(kind)
+    mass = int(weights.sum(axis=1).max()) if weights is not None else n - 1
+    return ModelOps(
+        n,
+        model.table(n),
+        model.unreachable_cost(n, Fraction(3), mass),
+        weights=weights,
+        aggregate=model.aggregate,
+    )
+
+
+def naive_model_totals(graph: nx.Graph, ops):
+    """Per-row model aggregates (and max multiplicities) from scratch.
+
+    Pure-Python per-entry loops over a fresh APSP — shares no vector
+    code with ``ModelOps.apply_f`` or the engine's shift maintenance.
+    """
+    fresh = apsp_matrix(graph, UNREACHABLE)
+    n = fresh.shape[0]
+    table = ops.table
+    totals, counts = [], []
+    for u in range(n):
+        values = []
+        for v in range(n):
+            d = int(fresh[u, v])
+            f = int(table[d]) if d < n else int(ops.unreachable_value)
+            w = 1 if ops.weights is None else int(ops.weights[u, v])
+            values.append(w * f)
+        if ops.aggregate == "max":
+            top = max(values)
+            totals.append(top)
+            counts.append(sum(1 for value in values if value == top))
+        else:
+            totals.append(sum(values))
+            counts.append(0)
+    return (
+        np.array(totals, dtype=np.int64),
+        np.array(counts, dtype=np.int64),
+    )
+
+
+class TestModelTotalsCrossValidation:
+    """``ftotals()`` / max-with-counts vs per-entry recompute every step."""
+
+    def test_ftotals_match_naive_along_trajectories(self):
+        for seed in range(32):
+            rng = random.Random(130_000 + seed)
+            family = FAMILIES[seed % len(FAMILIES)]
+            graph = start_graph(family, rng)
+            n = graph.number_of_nodes()
+            kind = MODEL_KINDS[seed % len(MODEL_KINDS)]
+            weights = None if seed % 2 == 0 else demand_matrix(n, seed)
+            ops = model_ops_for(kind, n, weights)
+            dm = DistanceMatrix(graph, UNREACHABLE)
+            dm.bind_cost_model(ops)
+            rebuilds_before = distances_mod.ftotals_rebuild_count()
+            expected, expected_counts = naive_model_totals(graph, ops)
+            assert (dm.ftotals() == expected).all()
+            assert (
+                distances_mod.ftotals_rebuild_count() == rebuilds_before + 1
+            )
+            for _ in range(STEPS):
+                if random_step(dm, graph, rng) is None:
+                    continue
+                expected, expected_counts = naive_model_totals(graph, ops)
+                assert (dm.ftotals() == expected).all()
+                assert dm.ftotals().dtype == np.int64
+                if ops.aggregate == "max":
+                    assert (dm.fmax_counts() == expected_counts).all()
+                if (
+                    kind == "linear"
+                    and weights is None
+                    and nx.is_connected(graph)
+                ):
+                    # identity table, sum aggregate: the plain totals
+                    # (only reachable pairs — unreachable ones map to the
+                    # model's value sentinel, not the distance sentinel)
+                    assert (dm.ftotals() == dm.totals()).all()
+            # incrementality: exactly one model-value pass per engine
+            assert (
+                distances_mod.ftotals_rebuild_count() == rebuilds_before + 1
+            )
+
+    def test_undo_restores_ftotals_and_counts(self):
+        for seed in range(16):
+            rng = random.Random(140_000 + seed)
+            graph = start_graph(FAMILIES[seed % len(FAMILIES)], rng)
+            n = graph.number_of_nodes()
+            kind = MODEL_KINDS[seed % len(MODEL_KINDS)]
+            weights = None if seed % 2 == 0 else demand_matrix(n, seed + 1)
+            dm = DistanceMatrix(graph, UNREACHABLE)
+            dm.bind_cost_model(model_ops_for(kind, n, weights))
+            before = dm.ftotals()
+            counts_before = (
+                dm.fmax_counts() if kind == "max" else None
+            )
+            tokens = []
+            for _ in range(STEPS):
+                token = random_step(dm, graph, rng)
+                if token is not None:
+                    tokens.append(token)
+            for token in reversed(tokens):
+                dm.undo(token)
+            assert (dm.ftotals() == before).all()
+            if counts_before is not None:
+                assert (dm.fmax_counts() == counts_before).all()
+
+    def test_modeled_costs_match_naive_along_apply_chains(self):
+        """``GameState(cost_model=...)`` costs vs per-entry recompute.
+
+        Covers concave / convex / max (the modeled dispatch) with and
+        without a demand matrix; one model-value pass per chain, zero
+        along the moves.
+        """
+        for seed in range(24):
+            rng = random.Random(150_000 + seed)
+            n = rng.randint(3, 9)
+            graph = random_connected_gnp(n, 0.35, rng)
+            alpha = Fraction(rng.randint(1, 9), rng.choice((1, 2)))
+            kind = ("concave", "convex", "max")[seed % 3]
+            traffic = (
+                None
+                if seed % 2 == 0
+                else TrafficMatrix.random_demands(n, seed=seed, high=4)
+            )
+            state = GameState(
+                graph, alpha, traffic=traffic, cost_model=cost_model_for(kind)
+            )
+            state.dist  # materialise so apply() hands the engine off
+            rebuilds_before = distances_mod.ftotals_rebuild_count()
+            for _ in range(6):
+                move = TestCostCrossValidation._random_move(state, rng)
+                if move is None:
+                    break
+                state = state.apply(move)
+                expected_totals, _ = naive_model_totals(
+                    state.graph, state.model_ops
+                )
+                expected_social = Fraction(0)
+                for agent in range(state.n):
+                    expected = state.alpha * state.graph.degree(agent) + int(
+                        expected_totals[agent]
+                    )
+                    assert state.cost(agent) == expected
+                    expected_social += expected
+                assert state.social_cost() == expected_social
+            # modeled trajectories pay at most one model-value pass
+            assert (
+                distances_mod.ftotals_rebuild_count() <= rebuilds_before + 1
             )
 
 
