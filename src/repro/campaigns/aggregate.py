@@ -307,7 +307,19 @@ def convergence_stats(
         if not runs:
             continue
         params = dict(identity)
-        rhos = [result["final_rho"] for _, result in runs]
+        # final_rho is only present for uniform-linear trials; final_quality
+        # is present on every new record and falls back to final_rho on
+        # records written before the quality column existed (uniform-only,
+        # where the two are bit-identical)
+        rhos = [
+            result["final_rho"]
+            for _, result in runs
+            if "final_rho" in result
+        ]
+        qualities = [
+            result.get("final_quality", result.get("final_rho"))
+            for _, result in runs
+        ]
         out.append(
             (
                 params,
@@ -319,13 +331,19 @@ def convergence_stats(
                     mean_rounds=statistics.fmean(
                         r["rounds"] for _, r in runs
                     ),
-                    mean_final_rho=statistics.fmean(
-                        float(rho) for rho in rhos
+                    mean_final_rho=(
+                        statistics.fmean(float(rho) for rho in rhos)
+                        if rhos
+                        else None
                     ),
-                    worst_final_rho=float(max(rhos)),
+                    worst_final_rho=float(max(rhos)) if rhos else None,
                     mean_start_instability=statistics.fmean(
                         float(r["start_instability"]) for _, r in runs
                     ),
+                    mean_final_quality=statistics.fmean(
+                        float(q) for q in qualities
+                    ),
+                    worst_final_quality=float(max(qualities)),
                 ),
             )
         )
@@ -351,14 +369,21 @@ def reduce_convergence(
                 stats.converged,
                 stats.cycled,
                 stats.mean_rounds,
-                stats.mean_final_rho,
-                stats.worst_final_rho,
+                # rho is uniform-linear only; weighted/modeled groups
+                # report on the regime-aware quality scale instead
+                stats.mean_final_rho if stats.mean_final_rho is not None
+                else "-",
+                stats.worst_final_rho if stats.worst_final_rho is not None
+                else "-",
+                stats.mean_final_quality,
+                stats.worst_final_quality,
                 stats.mean_start_instability,
             ]
         )
     headers = [
         "concept", "n", "alpha", "scheduler", "runs", "conv", "cyc",
-        "mean rounds", "mean rho", "worst rho", "start beta",
+        "mean rounds", "mean rho", "worst rho", "mean quality",
+        "worst quality", "start beta",
     ]
     return render_table(headers, rows, title=title)
 

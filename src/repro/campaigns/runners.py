@@ -349,30 +349,35 @@ def run_dynamics_trial(
     stability factor of the start is measured, then the dynamics run —
     so a campaign over ``index: range(runs)`` aggregates to the very
     same :class:`~repro.dynamics.convergence.ConvergenceStats`.
+
+    ``traffic`` / ``costmodel`` spec params run the weighted or
+    generalized game.  Every trial reports ``final_quality``
+    (:func:`repro.core.optimum.quality_ratio` — clique/star-relative,
+    == rho for uniform-linear) and ``final_social_cost``; ``final_rho``
+    is only present in the uniform-linear regime, where the closed-form
+    optimum applies.
     """
+    from repro.core.costmodel import costmodel_from_spec
+    from repro.core.optimum import quality_ratio
     from repro.core.state import GameState
+    from repro.core.traffic import traffic_from_spec
     from repro.dynamics.engine import run_dynamics
     from repro.equilibria.approximate import stability_factor
     from repro.graphs.generation import random_tree
 
     concept = _concept(params)
-    if params.get("traffic") is not None:
-        # run_dynamics accepts a traffic model, but this runner's final
-        # metric (rho) is uniform-only — refuse rather than silently
-        # running identical uniform dynamics under per-regime labels
-        raise ValueError(
-            "the dynamics runner is uniform-only (its rho metric has no "
-            "weighted optimum); a weighted_dynamics kind is a planned "
-            "follow-up"
-        )
     n = int(params["n"])
     index = int(params["index"])
     max_rounds = int(params.get("max_rounds", 2000))
     scheduler = scheduler_by_name(params.get("scheduler", "first"))
+    traffic = traffic_from_spec(params.get("traffic"), n)
+    cost_model = costmodel_from_spec(params.get("costmodel"), n)
 
     rng = coerce_rng(trial_seed(base_seed, index))
     start = random_tree(n, rng)
-    start_state = GameState(start, params["alpha"])
+    start_state = GameState(
+        start, params["alpha"], traffic=traffic, cost_model=cost_model
+    )
     instability = stability_factor(start_state, concept)
     result = run_dynamics(
         start,
@@ -381,11 +386,18 @@ def run_dynamics_trial(
         scheduler=scheduler,
         max_rounds=max_rounds,
         rng=rng,
+        traffic=traffic,
+        cost_model=cost_model,
     )
-    return {
+    final = result.final
+    out = {
         "converged": bool(result.converged),
         "cycled": bool(result.cycled),
         "rounds": int(result.rounds),
-        "final_rho": result.final.rho(),
+        "final_social_cost": final.social_cost(),
+        "final_quality": quality_ratio(final),
         "start_instability": instability,
     }
+    if not (final.weighted or final.modeled):
+        out["final_rho"] = final.rho()
+    return out

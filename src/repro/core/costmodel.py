@@ -352,6 +352,19 @@ class ModelOps:
             return values.max(axis=1)
         return values.sum(axis=1)
 
+    def rows_value_owned(
+        self, owners: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Per-row model values of a ``(k, n)`` row stack where row ``i``
+        is owned by agent ``owners[i]`` (the batch kernel's candidate
+        blocks — owners are arbitrary, possibly repeated, agents)."""
+        values = self.apply_f(rows)
+        if self.weights is not None:
+            values = values * self.weights[owners]
+        if self.aggregate == "max":
+            return values.max(axis=1)
+        return values.sum(axis=1)
+
     def rows_value_per_owner(self, rows: np.ndarray) -> np.ndarray:
         """Per-row model values where row ``i`` is owned by agent ``i``
         (full ``(n, n)`` stacks — e.g. a distance matrix)."""

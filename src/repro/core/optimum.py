@@ -22,6 +22,8 @@ __all__ = [
     "brute_force_optimum_cost",
     "optimum_cost",
     "optimum_graph",
+    "quality_ratio",
+    "reference_social_cost",
     "social_cost_ratio",
 ]
 
@@ -54,6 +56,67 @@ def social_cost_ratio(state: GameState) -> Fraction:
     if state.n == 1:
         return Fraction(1)
     return state.social_cost() / optimum_cost(state.n, state.alpha)
+
+
+def reference_social_cost(
+    n: int,
+    alpha: AlphaLike,
+    traffic=None,
+    cost_model=None,
+) -> Fraction:
+    """Best social cost over the closed-form optimum families — the
+    clique and every star — under the given traffic / cost-model regime.
+
+    For uniform traffic and a linear model this equals
+    :func:`optimum_cost` exactly (Section 3.1).  Under non-uniform
+    demands or a non-linear ``f`` no closed-form optimum is known, so
+    the best clique/star cost anchors quality reporting instead: it is
+    the genuine social cost of a buildable network, hence an upper bound
+    on the true optimum, and ``social_cost / reference`` is a meaningful
+    headline in every regime.  With demands the star center matters, so
+    all ``n`` centers are tried.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    price = as_alpha(alpha)
+    if n == 1:
+        return Fraction(0)
+    uniform = traffic is None or traffic.is_uniform
+    linear = cost_model is None or cost_model.is_linear
+    if uniform and linear:
+        return optimum_cost(n, price)
+    candidates = [nx.complete_graph(n)]
+    centers = range(n) if not uniform else range(1)  # stars are isomorphic
+    for center in centers:
+        star = nx.empty_graph(n)
+        star.add_edges_from((center, x) for x in range(n) if x != center)
+        candidates.append(star)
+    return min(
+        GameState(
+            graph, price, traffic=traffic, cost_model=cost_model
+        ).social_cost()
+        for graph in candidates
+    )
+
+
+def quality_ratio(state: GameState) -> Fraction:
+    """``cost(G) / reference`` — :meth:`GameState.rho`'s regime-aware
+    generalisation.
+
+    Equals ``rho(G)`` bit-exactly for uniform traffic with a linear
+    model; for weighted or modeled games it compares against
+    :func:`reference_social_cost`, so dynamics trials in every regime
+    report a headline on the same scale (1 = as good as the best
+    classical optimum shape).
+    """
+    if state.n == 1:
+        return Fraction(1)
+    return state.social_cost() / reference_social_cost(
+        state.n,
+        state.alpha,
+        traffic=state.traffic,
+        cost_model=state.cost_model,
+    )
 
 
 def brute_force_optimum_cost(n: int, alpha: AlphaLike) -> Fraction:

@@ -181,6 +181,9 @@ class SpeculativeEvaluator:
             self._floors = [
                 int(value) for value in self._weights.sum(axis=1)
             ]
+        # int64 view of the base totals for the batch kernels' vectorised
+        # delta arithmetic (repro.core.batch)
+        self._base_totals_arr = np.asarray(self._base_totals, dtype=np.int64)
         self._base_degrees = [len(self._adj[u]) for u in range(state.n)]
         # numerator/denominator of alpha for pure-integer comparisons
         self._alpha_num = self.alpha.numerator
@@ -328,6 +331,18 @@ class SpeculativeEvaluator:
         EVALUATIONS += 1
         self.evaluations += 1
 
+    def note_evaluations(self, count: int) -> None:
+        """Record ``count`` candidate evaluations at once.
+
+        The batch kernels (:mod:`repro.core.batch`) price a whole run of
+        candidates in one vectorised pass; charging the run in one call
+        keeps the module/instance spies bit-identical to the sequential
+        per-candidate loop.
+        """
+        global EVALUATIONS
+        EVALUATIONS += count
+        self.evaluations += count
+
     def move_improves(
         self, move: Move, agents: Sequence[int] | None = None
     ) -> bool:
@@ -423,14 +438,29 @@ class SpeculativeEvaluator:
     def best(
         self, moves: Iterable[Move]
     ) -> tuple[Move, MoveEvaluation] | None:
-        """Sweep candidates rows-only and keep the largest total cost drop.
+        """Sweep candidates and keep the largest total cost drop.
 
-        The round's whole move pool is evaluated without a single engine
-        mutation (:meth:`evaluate_rows_only`); compound moves fall back
-        to one speculation each.  Ties break by enumeration order (the
-        first best candidate wins); returns ``None`` for an empty
-        candidate stream.
+        Runs of same-type one-edge moves are priced **pool-at-once**
+        through the batch kernels of :mod:`repro.core.batch` (one
+        vectorised outer-min for additions, side-mask/grouped-BFS
+        batches for removals and swaps) — no engine mutation at all;
+        compound moves fall back to one speculation each.  The batched
+        sweep is bit-identical to the sequential rows-only loop
+        (:meth:`evaluate_rows_only` per candidate), which remains the
+        path inside active speculation scopes and under
+        ``REPRO_BATCH=0``.  Ties break by enumeration order (the first
+        best candidate wins); returns ``None`` for an empty stream.
         """
+        from repro.core import batch
+
+        if not self._stack and batch.ENABLED:
+            return batch.sweep_best(self, moves)
+        return self._best_sequential(moves)
+
+    def _best_sequential(
+        self, moves: Iterable[Move]
+    ) -> tuple[Move, MoveEvaluation] | None:
+        """The per-candidate reference sweep behind :meth:`best`."""
         best_move: Move | None = None
         best_eval: MoveEvaluation | None = None
         for move in moves:

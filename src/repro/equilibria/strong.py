@@ -35,11 +35,25 @@ from repro.core.state import GameState
 from repro.equilibria.neighborhood import SearchBudgetExceeded
 
 __all__ = [
+    "dfs_path_counts",
     "find_improving_coalition_move",
     "is_k_strong_equilibrium",
     "is_strong_equilibrium",
     "probe_coalition_moves",
 ]
+
+#: Coalition DFS dispatch spies: how many coalition subspaces ran the
+#: fully query-based fold DFS vs the token-based engine DFS since import.
+#: Tests assert the forest gate is never the reason a fold split is
+#: refused — any coalition whose removable edges are all bridges takes
+#: the fold path, cyclic host graph or not.
+FOLD_DFS_RUNS = 0
+ENGINE_DFS_RUNS = 0
+
+
+def dfs_path_counts() -> tuple[int, int]:
+    """``(fold_runs, engine_runs)`` of the coalition DFS since import."""
+    return FOLD_DFS_RUNS, ENGINE_DFS_RUNS
 
 
 def _coalition_edge_space(
@@ -260,8 +274,20 @@ def _dfs_coalition_space(
                 spec.pop()
         return None
 
-    if spec.engine.is_forest:
+    # The fold DFS needs every removable edge to be splittable, i.e. a
+    # bridge.  On forests that is automatic; on general graphs it still
+    # holds whenever this coalition's removable edges happen to be
+    # bridges of the host graph (bridges stay bridges under deletion,
+    # splits touch only removable edges, and additions extend restricted
+    # fold copies without feeding back into the removal fold).  Gate on
+    # the edges themselves, not on the global forest property.
+    global FOLD_DFS_RUNS, ENGINE_DFS_RUNS
+    if spec.engine.is_forest or all(
+        spec.is_bridge(u, v) for u, v in removable
+    ):
+        FOLD_DFS_RUNS += 1
         return descend_removes_fold(spec.fold(sorted(touched)), 0)
+    ENGINE_DFS_RUNS += 1
     return descend_removes_engine(0)
 
 

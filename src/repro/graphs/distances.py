@@ -110,11 +110,12 @@ import networkx as nx
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import (
     connected_components,
-    dijkstra,
     shortest_path,
 )
 
+from repro import _backend
 from repro._alpha import fits_int64
+from repro._backend import exact_int_fill as _exact_int_fill
 from repro.graphs.bridges import BridgeSet
 
 __all__ = [
@@ -243,21 +244,6 @@ def adjacency_csr(graph: nx.Graph) -> csr_matrix:
     return csr_matrix((data, (rows, cols)), shape=(n, n))
 
 
-def _exact_int_fill(raw: np.ndarray, unreachable: int) -> np.ndarray:
-    """Convert scipy's float distances to int64 with an exact sentinel.
-
-    Finite unweighted distances are below ``2**53``, so the float cast is
-    lossless; the ``inf`` mask is then overwritten with the exact Python
-    integer (numpy raises ``OverflowError`` if it does not fit ``int64``),
-    so big-M sentinels never round-trip through float64.
-    """
-    mask = np.isinf(raw)
-    dist = np.where(mask, 0.0, raw).astype(np.int64)
-    if mask.any():
-        dist[mask] = unreachable
-    return dist
-
-
 def apsp_matrix(graph: nx.Graph, unreachable: int) -> np.ndarray:
     """Dense all-pairs shortest path matrix with ``unreachable`` for no path.
 
@@ -278,9 +264,14 @@ def apsp_matrix(graph: nx.Graph, unreachable: int) -> np.ndarray:
 def _rows_from_csr(
     adjacency: csr_matrix, sources, unreachable: int
 ) -> np.ndarray:
-    """BFS distance rows for several sources in one C-level call."""
-    raw = dijkstra(adjacency, unweighted=True, indices=sources)
-    return _exact_int_fill(raw, unreachable)
+    """BFS distance rows for several sources in one batched call.
+
+    Dispatches to the active numerical backend
+    (:func:`repro._backend.active`): scipy's C-level dijkstra on the
+    numpy arm, an ``@njit`` CSR BFS on the numba arm — bit-identical by
+    the backend exactness contract.
+    """
+    return _backend.active().bfs_rows(adjacency, sources, unreachable)
 
 
 #: Below this node count the engine answers removal probes with pure-Python
@@ -289,9 +280,12 @@ def _rows_from_csr(
 #: setup), which dwarfs an actual BFS on a small graph.  Exactness is
 #: identical; this is purely a constant-factor dispatch, re-measured by
 #: ``benchmarks/bench_small_n_dispatch.py`` (record in
-#: ``benchmarks/baselines/BENCH_small_n_dispatch.json``: the Python arm
-#: wins 1-2 row probes by >= 1.4x through n = 160 and breaks even near
-#: 224; both arms' bit-exact agreement around the threshold is guarded by
+#: ``benchmarks/baselines/BENCH_small_n_dispatch.json``, refreshed
+#: 2026-08: the Python arm wins 1-2 row probes by >= 1.6x through
+#: n = 160 and still ~1.2x at 288, while the full apply+undo cycle
+#: flips to the C arm near n = 72 — 160 stays the compromise between
+#: the probe-heavy and repair-heavy workloads; both arms' bit-exact
+#: agreement around the threshold is guarded by
 #: ``tests/test_cross_validation.py``).
 _SMALL_N = 160
 

@@ -43,6 +43,7 @@ import numpy as np
 import pytest
 
 from repro.constructions.basic import clique, complete_binary_tree, cycle, star
+from repro.core.concepts import Concept
 from repro.core.moves import AddEdge, RemoveEdge, Swap
 from repro.core.speculative import SpeculativeEvaluator
 from repro.core.state import GameState
@@ -885,3 +886,77 @@ class TestEndpointArrayCache:
         dm.apply_add(0, 7)
         dm.apply_remove(3, 4)
         assert_endpoint_arrays_consistent(dm)
+
+
+# -- backend arms x batch sweep: whole-trajectory fuzz ------------------------
+
+
+def _dynamics_trace(seed: int, regime: str):
+    """One seeded best-response trajectory; returns its full bit record."""
+    from repro.core.costmodel import costmodel_from_spec
+    from repro.dynamics.engine import run_dynamics
+    from repro.dynamics.schedulers import best_improvement_scheduler
+
+    rng = random.Random(970_000 + seed)
+    n = rng.randint(6, 11)
+    graph = random_connected_gnp(n, 0.25 + rng.random() * 0.3, rng)
+    alpha = Fraction(rng.randint(1, 8), rng.choice((1, 2)))
+    concept = Concept.BGE if seed % 2 else Concept.PS
+    traffic = cost_model = None
+    if regime != "uniform":
+        traffic = TrafficMatrix.random_demands(n, seed=seed, high=5)
+    if regime == "modeled":
+        cost_model = costmodel_from_spec({"model": "convex", "exponent": 2}, n)
+    result = run_dynamics(
+        graph,
+        alpha,
+        concept,
+        scheduler=best_improvement_scheduler,
+        max_rounds=40,
+        rng=random.Random(seed),
+        traffic=traffic,
+        cost_model=cost_model,
+    )
+    return (
+        tuple(repr(move) for move in result.moves),
+        tuple(sorted(tuple(sorted(e)) for e in result.final.graph.edges)),
+        tuple(result.social_costs),
+        result.converged,
+        result.cycled,
+        result.rounds,
+    )
+
+
+class TestBackendAndBatchTrajectoryFuzz:
+    """Whole best-response trajectories are bit-identical across every
+    registered backend arm and with batching forced on and off.
+
+    The reference leg is (numpy arm, batching on); every other
+    (arm, batching) combination must reproduce its move sequence, social
+    cost trace and final graph exactly — 40 uniform + 15 weighted + 15
+    modeled seeded trajectories per combination (>= 140 trajectories
+    with numpy alone, >= 280 when the numba arm registers), on top of
+    the engine-level trajectory fuzz above."""
+
+    SEEDS = {"uniform": 40, "weighted": 15, "modeled": 15}
+
+    @pytest.mark.parametrize("regime", ("uniform", "weighted", "modeled"))
+    def test_trajectories_bit_identical(self, regime, monkeypatch):
+        from repro import _backend
+        from repro.core import batch as batch_mod
+
+        seeds = range(self.SEEDS[regime])
+        reference = None
+        for arm in _backend.available_backends():
+            with _backend.use_backend(arm):
+                for batching in (True, False):
+                    monkeypatch.setattr(batch_mod, "ENABLED", batching)
+                    traces = [_dynamics_trace(s, regime) for s in seeds]
+                    if reference is None:
+                        reference = (arm, batching, traces)
+                        continue
+                    for seed, trace in zip(seeds, traces):
+                        assert trace == reference[2][seed], (
+                            f"({arm}, batching={batching}) diverges from "
+                            f"{reference[:2]} at seed {seed}"
+                        )

@@ -226,3 +226,61 @@ class TestKStrongEquilibrium:
             GameState(nx.cycle_graph(6), Fraction(13, 2)),
             max_evaluations=50_000_000,
         )
+
+
+class TestFoldGateOnGeneralGraphs:
+    """The fold DFS gate is per-coalition, not global: any coalition whose
+    removable edges are all bridges takes the fully query-based fold path
+    even on a cyclic host graph — the forest property is never the reason
+    a fold split is refused (dispatch spy-counted), and both DFS paths
+    return identical moves."""
+
+    @staticmethod
+    def _lollipop():
+        graph = nx.Graph(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]
+        )  # triangle core + pendant path: cyclic, tail edges are bridges
+        return GameState(graph, 2)
+
+    def test_all_bridge_coalitions_take_fold_path(self):
+        from repro.core.speculative import SpeculativeEvaluator
+        from repro.equilibria import strong
+
+        state = self._lollipop()
+        spec = SpeculativeEvaluator(state)
+        fold_seen = engine_seen = 0
+        for coalition in itertools.combinations(range(state.n), 2):
+            removable, addable = strong._coalition_edge_space(
+                state, coalition
+            )
+            all_bridges = all(
+                state.dist.is_bridge(u, v) for u, v in removable
+            )
+            before = strong.dfs_path_counts()
+            strong._dfs_coalition_space(spec, coalition, removable, addable)
+            after = strong.dfs_path_counts()
+            fold_delta = after[0] - before[0]
+            engine_delta = after[1] - before[1]
+            if all_bridges:
+                # the gate must never refuse a splittable coalition
+                assert (fold_delta, engine_delta) == (1, 0), coalition
+                fold_seen += 1
+            else:
+                assert (fold_delta, engine_delta) == (0, 1), coalition
+                engine_seen += 1
+        assert fold_seen > 0 and engine_seen > 0  # both regimes exercised
+
+    def test_fold_and_engine_paths_agree_on_cyclic_graphs(self, monkeypatch):
+        from repro.core.speculative import SpeculativeEvaluator
+
+        for alpha in (Fraction(1, 2), 2, 5):
+            state = GameState(self._lollipop().graph, alpha)
+            gated = find_improving_coalition_move(state, 2)
+            # force the engine path (the pre-gate behaviour on any
+            # non-forest instance) and compare verdicts
+            monkeypatch.setattr(
+                SpeculativeEvaluator, "is_bridge", lambda self, u, v: False
+            )
+            engine = find_improving_coalition_move(state, 2)
+            monkeypatch.undo()
+            assert gated == engine
