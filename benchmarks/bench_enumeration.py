@@ -1,0 +1,175 @@
+"""Perf: canonical-key enumeration vs naive pairwise-isomorphism dedup.
+
+The layered enumerators (:mod:`repro.graphs.enumerate`) deduplicate each
+extension layer with a *set* of canonical keys — O(1) membership per
+candidate after one canonicalisation.  The naive alternative, and the
+only option without canonical forms, is a linear scan of the layer's
+representatives with ``nx.is_isomorphic`` per candidate.  This benchmark
+runs both over identical extension streams (same layers, same candidate
+graphs) and checks they find exactly the same isomorphism classes:
+
+* ``trees`` — leaf-extension layers up to ``n``;
+* ``connected_graphs`` — edge-addition layers at fixed ``n``.
+
+The tracked metric is ``speedup = naive_seconds / canonical_seconds``
+(> 1 means the canonical keys win); the gap widens with n as layer sizes
+grow, which is exactly why the atlas-free sweeps need the keys.
+Committed quick-mode baselines in
+``benchmarks/baselines/BENCH_enumeration.json`` are gated by
+``benchmarks/check_regression.py``.
+
+Set ``REPRO_BENCH_QUICK=1`` for the scaled-down CI sizes.
+"""
+
+import json
+import os
+import time
+
+import networkx as nx
+
+from repro.analysis.tables import render_table
+from repro.graphs import enumerate as enum_mod
+from repro.graphs.canonical import canonical_cache_clear, decode_key
+from repro.graphs.enumerate import (
+    connected_graph_layer,
+    max_edge_count,
+    tree_layer_keys,
+)
+
+from _harness import RESULTS_DIR, emit, once
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def _flush():
+    """Start every timed run from a cold enumerator and key cache."""
+    enum_mod._TREE_LAYERS.clear()
+    enum_mod._GRAPH_LAYERS.clear()
+    canonical_cache_clear()
+
+
+def _dedup_naive(candidates):
+    """The no-canonical-keys baseline: linear isomorphism scan per layer."""
+    representatives = []
+    for graph in candidates:
+        if any(nx.is_isomorphic(graph, seen) for seen in representatives):
+            continue
+        representatives.append(graph)
+    return representatives
+
+
+def _tree_candidates(parents):
+    for parent in parents:
+        n = parent.number_of_nodes()
+        for u in range(n):
+            child = parent.copy()
+            child.add_edge(u, n)
+            yield child
+
+
+def _graph_candidates(parents):
+    for parent in parents:
+        n = parent.number_of_nodes()
+        for u in range(n):
+            for v in range(u + 1, n):
+                if not parent.has_edge(u, v):
+                    child = parent.copy()
+                    child.add_edge(u, v)
+                    yield child
+
+
+def _naive_trees(n):
+    layer = [nx.empty_graph(1)]
+    for _ in range(n - 1):
+        layer = _dedup_naive(_tree_candidates(layer))
+    return layer
+
+
+def _naive_connected(n):
+    total = 0
+    layer = _naive_trees(n)
+    total += len(layer)
+    for _ in range(n - 1, max_edge_count(n)):
+        layer = _dedup_naive(_graph_candidates(layer))
+        total += len(layer)
+    return total
+
+
+def study():
+    tree_n = 8 if QUICK else 10
+    graph_n = 6 if QUICK else 7
+
+    _flush()
+    start = time.perf_counter()
+    tree_count = len(tree_layer_keys(tree_n))
+    canonical_tree_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    naive_tree_count = len(_naive_trees(tree_n))
+    naive_tree_s = time.perf_counter() - start
+
+    _flush()
+    start = time.perf_counter()
+    graph_count = sum(
+        len(connected_graph_layer(graph_n, m))
+        for m in range(graph_n - 1, max_edge_count(graph_n) + 1)
+    )
+    canonical_graph_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    naive_graph_count = _naive_connected(graph_n)
+    naive_graph_s = time.perf_counter() - start
+
+    payload = {
+        "trees": {
+            "n": tree_n,
+            "classes": tree_count,
+            "naive_classes": naive_tree_count,
+            "canonical_seconds": canonical_tree_s,
+            "naive_seconds": naive_tree_s,
+            "speedup": naive_tree_s / canonical_tree_s,
+        },
+        "connected_graphs": {
+            "n": graph_n,
+            "classes": graph_count,
+            "naive_classes": naive_graph_count,
+            "canonical_seconds": canonical_graph_s,
+            "naive_seconds": naive_graph_s,
+            "speedup": naive_graph_s / canonical_graph_s,
+        },
+    }
+    rows = [
+        [
+            name,
+            stats["n"],
+            stats["classes"],
+            f"{stats['canonical_seconds'] * 1e3:.1f}",
+            f"{stats['naive_seconds'] * 1e3:.1f}",
+            f"{stats['speedup']:.1f}x",
+        ]
+        for name, stats in payload.items()
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_enumeration.json").write_text(
+        json.dumps({"quick": QUICK, "workloads": payload}, indent=2) + "\n"
+    )
+    return rows, payload
+
+
+def test_enumeration(benchmark):
+    rows, payload = once(benchmark, study)
+    emit(
+        "enumeration",
+        render_table(
+            ["family", "n", "classes", "canonical ms", "naive ms",
+             "speedup"],
+            rows,
+            title="Canonical-key layer dedup vs pairwise nx.is_isomorphic",
+        ),
+    )
+    for name, stats in payload.items():
+        # both paths must agree on the isomorphism classes exactly;
+        # the committed baseline (gated by check_regression.py) tracks
+        # the real speedup, the in-test floor only catches collapses
+        assert stats["classes"] == stats["naive_classes"], (name, stats)
+        assert stats["speedup"] > 1.0, (name, stats)

@@ -40,6 +40,9 @@ TRACKED = {
     # workloads (LinearCost dispatch, f-table sweeps/trajectories, the
     # max aggregate's max-with-counts maintenance)
     "BENCH_costmodel_overhead": ("workloads", "speedup"),
+    # canonical-key layer dedup vs pairwise nx.is_isomorphic on the
+    # same extension streams (trees + connected graphs)
+    "BENCH_enumeration": ("workloads", "speedup"),
 }
 
 

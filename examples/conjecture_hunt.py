@@ -1,27 +1,80 @@
-"""Hunting the Corbo–Parkes conjecture with dynamics-sampled equilibria.
+"""Hunting the Corbo–Parkes conjecture: sampled dynamics, then all of it.
 
 Proposition 2.3 refutes the 2005 conjecture that every unilateral Pure
 Nash Equilibrium is pairwise stable in the bilateral game.  This example
-makes the refutation tangible: it *samples* genuine Nash equilibria by
-running exact best-response dynamics of the unilateral game from random
-starts, then asks the bilateral checkers whether each sampled NE survives
-as a pairwise-stable network.  Counterexamples — equilibria with an edge
-the non-paying endpoint would bilaterally cancel — are reported with their
-certificates, alongside the frozen minimal witness.
+attacks the conjecture twice.  First it *samples* genuine Nash equilibria
+by running exact best-response dynamics of the unilateral game from
+random starts and asks the bilateral checkers whether each sampled NE
+survives — which usually finds nothing, because dynamics gravitate to
+star-like equilibria that happen to be pairwise stable too.  Then it
+stops sampling and checks **everything**: a campaign-backed exhaustive
+sweep over every connected graph (canonical-key enumeration, one
+representative per isomorphism class) and every NE edge assignment on
+it, reporting each refuted cell with a replayable certificate.  The
+frozen Proposition 2.3 witness closes the loop.
+
+The sweep is output-identical to the committed
+``campaigns/conjecture_hunt.json`` run through
+``python -m repro.campaigns run`` — which also gives you
+multiprocessing workers and kill-and-resume for free.
 
 Run:  python examples/conjecture_hunt.py [n] [alpha] [samples]
 """
 
 import random
 import sys
+from fractions import Fraction
 
 from repro.analysis.tables import render_table
+from repro.campaigns import (
+    CampaignSpec,
+    CampaignStore,
+    render_report,
+    run_campaign,
+)
 from repro.constructions.figures import figure2_nash_not_pairwise_stable
 from repro.core.state import GameState
 from repro.equilibria.nash import is_nash_equilibrium
 from repro.equilibria.nash_dynamics import unilateral_best_response_dynamics
 from repro.equilibria.pairwise import find_pairwise_violation
 from repro.equilibria.remove import removal_loss
+
+DEFAULT_CELLS = (
+    (4, 2),
+    (4, Fraction(5, 2)),
+    (4, 3),
+    (5, 2),
+    (5, Fraction(5, 2)),
+    (5, 3),
+    (6, 2),
+)
+
+
+def hunt_spec(cells=DEFAULT_CELLS) -> CampaignSpec:
+    """The exhaustive conjecture sweep as a declarative campaign.
+
+    ``cells`` is a sequence of ``(n, alpha)`` pairs; the default set is
+    the committed ``campaigns/conjecture_hunt.json``.
+    """
+    return CampaignSpec(
+        name="conjecture-hunt",
+        kind="conjecture_hunt",
+        grids=tuple({"n": n, "alpha": alpha} for n, alpha in cells),
+        report={
+            "reducer": "conjecture_table",
+            "options": {
+                "title": (
+                    "Corbo-Parkes conjecture, exhaustively: all NE vs "
+                    "pairwise stability"
+                ),
+            },
+            "footer": (
+                "Paper, Proposition 2.3: unilateral NE does not imply "
+                "pairwise stability; every refuted cell certifies it "
+                "with a concrete (graph, assignment, break move) triple."
+            ),
+        },
+    )
 
 
 def main(n: int = 6, alpha: int = 2, samples: int = 12) -> None:
@@ -35,7 +88,16 @@ def main(n: int = 6, alpha: int = 2, samples: int = 12) -> None:
             rows.append([seed, "did not converge", "-", "-"])
             continue
         state = outcome.state(alpha)
-        assert is_nash_equilibrium(state, outcome.assignment)
+        if not is_nash_equilibrium(state, outcome.assignment):
+            # Converged best-response dynamics must terminate in an NE;
+            # anything else is an engine bug, and silently tabulating it
+            # as a verdict (or stripping the check under ``python -O``,
+            # as the old ``assert`` did) would corrupt the hunt.
+            raise RuntimeError(
+                f"best-response dynamics from seed {seed} claimed "
+                "convergence to a non-equilibrium state "
+                f"(n={n}, alpha={alpha})"
+            )
         violation = find_pairwise_violation(state)
         if violation is None:
             rows.append([seed, "NE, pairwise stable", "-", "-"])
@@ -62,8 +124,17 @@ def main(n: int = 6, alpha: int = 2, samples: int = 12) -> None:
             "(best-response dynamics gravitate to star-like equilibria "
             "that are also pairwise stable — the counterexamples exist "
             "but are dynamically hard to reach, which is why Prop 2.3 "
-            "needed a constructed witness:)"
+            "needed a constructed witness — so stop sampling and check "
+            "everything:)"
         )
+
+    spec = hunt_spec(tuple((size, alpha) for size in range(4, n + 1)))
+    store = CampaignStore(None)  # ephemeral in-memory store
+    stats = run_campaign(spec, store)
+    if stats.failed:
+        raise RuntimeError(f"{stats.failed} sweep trials failed")
+    print()
+    print(render_report(spec, store))
 
     fig = figure2_nash_not_pairwise_stable()
     state = GameState(fig.graph, fig.alpha)

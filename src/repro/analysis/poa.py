@@ -5,6 +5,14 @@ Small instances allow the real thing: enumerate *all* non-isomorphic trees
 take the worst social cost ratio.  That is the PoA by definition, not an
 estimate.  Larger instances use the paper's own reductions (Lemma 3.17 /
 3.18) to produce certified upper bounds.
+
+Enumeration rides the canonical-key machinery of
+:mod:`repro.graphs.canonical` / :mod:`repro.graphs.enumerate`: connected
+graphs reach n = 8-9 (past the networkx atlas), :func:`empirical_layer_poa`
+scans one edge-count layer — the unit of campaign-level resume — and
+:func:`exact_weighted_tree_poa` quantifies over **all labelled trees**
+modulo the joint ``(tree, W)`` symmetries, settling the weighted tree PoA
+exactly rather than over one representative per unlabelled class.
 """
 
 from __future__ import annotations
@@ -30,9 +38,11 @@ __all__ = [
     "PoAResult",
     "WeightedPoAResult",
     "bse_upper_bound_via_dary_tree",
+    "empirical_layer_poa",
     "empirical_poa",
     "empirical_tree_poa",
     "empirical_weighted_poa",
+    "exact_weighted_tree_poa",
     "worst_equilibria",
 ]
 
@@ -99,9 +109,38 @@ def empirical_tree_poa(
 def empirical_poa(
     n: int, alpha: AlphaLike, concept: Concept, k: int | None = None
 ) -> PoAResult:
-    """Exact PoA over *all* connected graphs on ``n <= 7`` nodes."""
+    """Exact PoA over *all* connected graphs on ``n`` nodes.
+
+    Atlas-backed to ``n = 7``; the canonical-key layered enumerator
+    carries the sweep to ``n = 8`` in seconds and ``n = 9`` in minutes
+    (the checker cost, not the enumeration, dominates there).
+    """
     price = as_alpha(alpha)
     return _scan(all_connected_graphs(n), price, concept, k, n)
+
+
+def empirical_layer_poa(
+    n: int,
+    m: int,
+    alpha: AlphaLike,
+    concept: Concept,
+    k: int | None = None,
+) -> PoAResult:
+    """Exact PoA over connected graphs with exactly ``m`` edges.
+
+    One edge-count layer of the canonical enumerator — the resume unit
+    of the ``exact_poa`` campaign runner: the full-graph PoA at ``n`` is
+    the max over its layers ``m = n-1 .. n(n-1)/2``, and each layer is a
+    content-addressed trial that survives being killed independently.
+    """
+    from repro.graphs.canonical import decode_key
+    from repro.graphs.enumerate import connected_graph_layer
+
+    price = as_alpha(alpha)
+    graphs = (
+        decode_key(key)[0] for key in connected_graph_layer(n, m)
+    )
+    return _scan(graphs, price, concept, k, n)
 
 
 def worst_equilibria(
@@ -195,6 +234,65 @@ def empirical_weighted_poa(
             worst = cost
             witness = state.graph.copy()
     assert best is not None, "the family enumeration was empty"
+    return WeightedPoAResult(
+        n=n,
+        alpha=price,
+        concept=concept,
+        k=k,
+        poa=None if worst is None else worst / best,
+        worst_cost=worst,
+        best_cost=best,
+        witness=witness,
+        equilibria=equilibria,
+        candidates=candidates,
+    )
+
+
+def exact_weighted_tree_poa(
+    n: int,
+    alpha: AlphaLike,
+    concept: Concept,
+    traffic: TrafficMatrix,
+    k: int | None = None,
+    cost_model: CostModel | None = None,
+) -> WeightedPoAResult:
+    """Exact weighted PoA over **all labelled trees** on ``n`` nodes.
+
+    :func:`empirical_weighted_poa` checks one labelled representative per
+    *unlabelled* isomorphism class against a fixed demand matrix — a
+    certified lower bound, because demands break label symmetry and a
+    different labelling of the same shape is a genuinely different game.
+    This function closes that gap: it sweeps every Pruefer sequence (all
+    ``n**(n-2)`` labelled trees) deduplicated by the **joint**
+    ``(tree, W)`` canonical key (:func:`repro.graphs.enumerate.
+    enumerate_labelled_trees`), so the quantifier runs over the complete
+    labelled family modulo the symmetries the demand matrix actually
+    has.  Under ``TrafficMatrix.uniform(n)`` the joint classes collapse
+    to the unlabelled ones and the result matches
+    :func:`empirical_weighted_poa` exactly.  Feasible to ``n ~ 8``
+    (262144 sequences).
+    """
+    from repro.graphs.enumerate import enumerate_labelled_trees
+
+    price = as_alpha(alpha)
+    worst: Fraction | None = None
+    witness: nx.Graph | None = None
+    best: Fraction | None = None
+    equilibria = 0
+    candidates = 0
+    for graph in enumerate_labelled_trees(n, traffic):
+        candidates += 1
+        state = GameState(graph, price, traffic=traffic, cost_model=cost_model)
+        cost = state.social_cost()
+        if best is None or cost < best:
+            best = cost
+        if not check(state, concept, k=k):
+            continue
+        equilibria += 1
+        if worst is None or cost > worst:
+            worst = cost
+            witness = state.graph.copy()
+    assert best is not None, "the labelled-tree enumeration was empty"
     return WeightedPoAResult(
         n=n,
         alpha=price,

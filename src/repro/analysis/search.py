@@ -9,8 +9,10 @@ graphs matter less than their existence:
 * **Figure 1b** — witnesses for all eight regions of the RE / BAE / BSwE
   Venn diagram.
 
-Both are re-derived here by exhaustive search over the connected graph
-atlas; the frozen results live in :mod:`repro.constructions.figures` and
+Both are re-derived here by exhaustive search over all connected graphs
+(:func:`repro.graphs.generation.all_connected_graphs` — atlas-backed to
+``n = 7``, canonical-key enumerated above); the frozen results live in
+:mod:`repro.constructions.figures` and
 :mod:`repro.constructions.venn` with tests re-verifying them.  All
 stability verdicts consumed here come from the engine-backed checkers
 (speculative-kernel evaluation); :func:`classify_full_ladder` extends the
@@ -43,9 +45,11 @@ from repro.equilibria.swap import is_bilateral_swap_equilibrium
 from repro.graphs.generation import all_connected_graphs
 
 __all__ = [
+    "ConjectureSweepResult",
     "NashWitness",
     "classify_full_ladder",
     "classify_re_bae_bswe",
+    "exhaustive_conjecture_sweep",
     "search_nash_not_pairwise_stable",
     "search_venn_witnesses",
 ]
@@ -127,6 +131,127 @@ def search_nash_not_pairwise_stable(
                             return results
                         break  # one assignment per (graph, alpha) suffices
     return results
+
+
+@dataclass(frozen=True)
+class ConjectureSweepResult:
+    """One exhaustive Corbo–Parkes cell: every NE on every connected graph.
+
+    ``certificates`` carries JSON-able refutation witnesses: the graph's
+    canonical-key digest and edge list, one concrete NE edge assignment,
+    and the bilateral move that breaks pairwise stability — enough to
+    replay the refutation without re-running the sweep.
+    """
+
+    n: int
+    alpha: Fraction
+    candidates: int  # connected graphs scanned
+    feasible_graphs: int  # graphs surviving the NE pre-filters
+    ne_graphs: int  # graphs supporting at least one NE assignment
+    ne_assignments: int  # total NE assignments across all graphs
+    counterexample_graphs: int  # NE-supporting graphs that are not PS
+    certificates: tuple[dict, ...]
+
+
+def exhaustive_conjecture_sweep(
+    n: int, alpha: AlphaLike, max_certificates: int = 5
+) -> ConjectureSweepResult:
+    """Exhaustively test the Corbo–Parkes conjecture at ``(n, alpha)``.
+
+    For **every** connected graph on ``n`` nodes (canonical enumeration,
+    so one representative per isomorphism class) and **every** edge
+    ownership assignment that is a unilateral Pure Nash Equilibrium,
+    check whether the underlying graph is pairwise stable.  Any NE whose
+    graph admits a bilateral improvement refutes the conjecture; the
+    first ``max_certificates`` refutations are returned as replayable
+    certificates.
+
+    Pre-filters (both *necessary* for an NE assignment to exist) keep the
+    assignment product small: the graph must be a unilateral add
+    equilibrium, and every edge needs at least one endpoint whose removal
+    loss reaches ``alpha`` (a feasible owner).  Everything is exact and
+    deterministic — no sampling, no seeds.
+    """
+    from hashlib import blake2b
+
+    from repro._alpha import as_alpha
+    from repro.equilibria.pairwise import find_pairwise_violation
+    from repro.graphs.canonical import canonical_key
+
+    price = as_alpha(alpha)
+    candidates = 0
+    feasible_graphs = 0
+    ne_graphs = 0
+    ne_assignments = 0
+    counterexample_graphs = 0
+    certificates: list[dict] = []
+    for graph in all_connected_graphs(n):
+        candidates += 1
+        state = GameState(graph, price)
+        if not is_unilateral_add_equilibrium(state):
+            continue
+        allowed_owners: list[list[int]] = []
+        feasible = True
+        for u, v in state.graph.edges:
+            owners = [
+                endpoint
+                for endpoint, other in ((u, v), (v, u))
+                if not removal_loss(state, endpoint, other) < price
+            ]
+            if not owners:
+                feasible = False
+                break
+            allowed_owners.append(owners)
+        if not feasible:
+            continue
+        feasible_graphs += 1
+        edges = list(state.graph.edges)
+        found_here = 0
+        first_ne: EdgeAssignment | None = None
+        for owner_choice in itertools.product(*allowed_owners):
+            assignment = EdgeAssignment.from_pairs(
+                (owner, u if owner == v else v)
+                for owner, (u, v) in zip(owner_choice, edges)
+            )
+            if is_nash_equilibrium(state, assignment):
+                found_here += 1
+                if first_ne is None:
+                    first_ne = assignment
+        if not found_here:
+            continue
+        ne_graphs += 1
+        ne_assignments += found_here
+        violation = find_pairwise_violation(state)
+        if violation is None:
+            continue
+        counterexample_graphs += 1
+        if len(certificates) < max_certificates:
+            assert first_ne is not None
+            certificates.append(
+                {
+                    "witness_key": blake2b(
+                        canonical_key(state.graph), digest_size=16
+                    ).hexdigest(),
+                    "edges": sorted([int(u), int(v)] for u, v in edges),
+                    "owners": sorted(
+                        [int(owner), int(v if owner == u else u)]
+                        for (u, v), owner in first_ne.owner.items()
+                    ),
+                    "ne_assignments": found_here,
+                    "break_type": type(violation).__name__,
+                    "break": str(violation),
+                }
+            )
+    return ConjectureSweepResult(
+        n=n,
+        alpha=price,
+        candidates=candidates,
+        feasible_graphs=feasible_graphs,
+        ne_graphs=ne_graphs,
+        ne_assignments=ne_assignments,
+        counterexample_graphs=counterexample_graphs,
+        certificates=tuple(certificates),
+    )
 
 
 def classify_re_bae_bswe(state: GameState) -> tuple[bool, bool, bool]:

@@ -36,6 +36,15 @@ Built-in reducers:
     log-log power-law exponent and the relative spread — the shape
     comparison behind the paper's Theta claims, computed from campaign
     records instead of a hand-rolled benchmark loop.
+``exact_poa_table``
+    Alpha-by-concept table over ``exact_poa`` trials.  A cell may be
+    covered by one whole-family trial *or* sharded across an ``m``
+    (edge-count layer) axis; layered cells aggregate exactly — PoA is
+    the max over layers, equilibria/candidates the sum — so the table is
+    byte-identical whether the campaign ran layered or whole.
+``conjecture_table``
+    One row per ``conjecture_hunt`` cell: graphs scanned, NE counts,
+    refutations, and the first replayable certificate.
 """
 
 from __future__ import annotations
@@ -54,8 +63,10 @@ from repro.dynamics.convergence import ConvergenceStats
 __all__ = [
     "REDUCERS",
     "convergence_stats",
+    "reduce_conjecture_table",
     "reduce_convergence",
     "reduce_costmodel_poa_table",
+    "reduce_exact_poa_table",
     "reduce_poa_fit",
     "reduce_poa_table",
     "reduce_trial_table",
@@ -270,6 +281,119 @@ def reduce_poa_fit(
     return render_table(headers, rows, title=title)
 
 
+def reduce_exact_poa_table(
+    spec: CampaignSpec, store: CampaignStore, options: Mapping[str, Any]
+) -> str:
+    """Alpha-by-concept table over ``exact_poa`` trials, layer-aware.
+
+    Options: ``n``, ``alphas``, ``columns`` (``{"header", "concept",
+    "k"?, "params"?}``), optional ``family`` (merged into every cell's
+    params unless the column already pins one), ``kind`` and ``title``.
+    A cell's trials are every spec trial whose parameters — with the
+    edge-count layer axis ``m`` stripped — match the cell: one whole
+    trial or many layered ones.  PoA aggregates as the max over layers,
+    equilibria/candidates as sums, so layered and whole campaigns render
+    byte-identically.  Cells with any layer still missing render ``?``,
+    equilibrium-free cells ``-``.
+    """
+    n = int(options["n"])
+    kind = options.get("kind", spec.kind)
+    alphas = [as_alpha(a) for a in options["alphas"]]
+    columns = list(options["columns"])
+    family = options.get("family")
+    title = options.get(
+        "title", "Exact PoA over all connected graphs (n={n})"
+    ).format(n=n)
+
+    trials = [trial for trial in spec.trials() if trial.kind == kind]
+    stripped_keys = [
+        trial_key(
+            kind,
+            {name: value for name, value in trial.items if name != "m"},
+        )
+        for trial in trials
+    ]
+
+    rows = []
+    for alpha in alphas:
+        cells: list[Any] = [alpha]
+        for column in columns:
+            cell_params = _column_params(n, alpha, column)
+            if family is not None and "family" not in cell_params:
+                cell_params["family"] = family
+            wanted = trial_key(kind, cell_params)
+            matched = [
+                trial
+                for trial, stripped in zip(trials, stripped_keys)
+                if stripped == wanted
+            ]
+            results = [store.result(trial.key) for trial in matched]
+            if not matched or any(result is None for result in results):
+                cells.append("?")
+                continue
+            poas = [
+                result["poa"] for result in results
+                if result["poa"] is not None
+            ]
+            cells.append(float(max(poas)) if poas else "-")
+        rows.append(cells)
+    headers = ["alpha"] + [column["header"] for column in columns]
+    return render_table(headers, rows, title=title)
+
+
+def reduce_conjecture_table(
+    spec: CampaignSpec, store: CampaignStore, options: Mapping[str, Any]
+) -> str:
+    """Per-cell Corbo–Parkes sweep summary with the first certificate.
+
+    One row per ``conjecture_hunt`` trial in spec order: graphs scanned,
+    graphs passing the NE pre-filters, NE-supporting graphs, total NE
+    assignments, refuting graphs, and the first refutation certificate
+    (break move at the witness's canonical-key digest).  Pending trials
+    render ``?``.
+    """
+    rows = []
+    for trial in spec.trials():
+        if trial.kind != "conjecture_hunt":
+            continue
+        params = trial.params
+        result = store.result(trial.key)
+        if result is None:
+            rows.append(
+                [params["n"], params["alpha"], "?", "?", "?", "?", "?", "?"]
+            )
+            continue
+        certificates = result.get("certificates") or []
+        first = (
+            f"{certificates[0]['break']} @ "
+            f"{certificates[0]['witness_key'][:12]}"
+            if certificates
+            else "-"
+        )
+        rows.append(
+            [
+                params["n"],
+                params["alpha"],
+                result["candidates"],
+                result["feasible_graphs"],
+                result["ne_graphs"],
+                result["ne_assignments"],
+                result["counterexample_graphs"],
+                first,
+            ]
+        )
+    headers = [
+        "n", "alpha", "graphs", "feasible", "NE graphs",
+        "NE assignments", "refuted", "first certificate",
+    ]
+    title = options.get(
+        "title",
+        "Corbo-Parkes conjecture, exhaustively: all NE vs pairwise "
+        "stability",
+    )
+    return render_table(headers, rows, title=title)
+
+
 def _group_identity(trial: Trial) -> tuple:
     return tuple(
         (name, value) for name, value in trial.items if name != "index"
@@ -437,6 +561,8 @@ REDUCERS: dict[str, Reducer] = {
     "trial_table": reduce_trial_table,
     "weighted_poa_table": reduce_weighted_poa_table,
     "costmodel_poa_table": reduce_costmodel_poa_table,
+    "exact_poa_table": reduce_exact_poa_table,
+    "conjecture_table": reduce_conjecture_table,
 }
 
 

@@ -101,7 +101,11 @@ def run_tree_poa(params: Mapping[str, Any], base_seed: int) -> dict[str, Any]:
 
 @runner("graph_poa")
 def run_graph_poa(params: Mapping[str, Any], base_seed: int) -> dict[str, Any]:
-    """Exact worst-case PoA over all connected graphs (``n <= 7``)."""
+    """Exact worst-case PoA over all connected graphs.
+
+    Atlas-backed to ``n = 7``, canonical-key enumerated above; for
+    ``n >= 8`` prefer the ``exact_poa`` kind with an ``m`` axis — one
+    trial per edge-count layer resumes at layer granularity."""
     from repro.analysis.poa import empirical_poa
 
     result = empirical_poa(
@@ -206,6 +210,121 @@ def run_generalized_poa(
         "best_cost": result.best_cost,
         "equilibria": result.equilibria,
         "candidates": result.candidates,
+    }
+
+
+def _witness_payload(witness, traffic=None) -> dict[str, Any]:
+    """Content-addressed witness certificate: canonical-key digest + edges.
+
+    The digest is the BLAKE2b of the (joint, when ``traffic`` is given)
+    canonical key, so two campaigns that find isomorphic worst cases
+    report byte-identical certificates; the edge list makes the witness
+    replayable without the store.
+    """
+    from hashlib import blake2b
+
+    from repro.graphs.canonical import canonical_key
+
+    if witness is None:
+        return {"witness_key": None, "witness_edges": None}
+    return {
+        "witness_key": blake2b(
+            canonical_key(witness, traffic), digest_size=16
+        ).hexdigest(),
+        "witness_edges": sorted(
+            [int(u), int(v)] if u < v else [int(v), int(u)]
+            for u, v in witness.edges
+        ),
+    }
+
+
+@runner("exact_poa")
+def run_exact_poa(params, base_seed: int) -> dict[str, Any]:
+    """Exact PoA over a canonically enumerated family, with certificates.
+
+    ``family`` selects the quantifier: ``"trees"`` (all non-isomorphic
+    trees), ``"graphs"`` (all connected graphs — optionally one
+    edge-count layer ``m``, the campaign resume unit: the full PoA is
+    the max over the ``m`` axis and each layer is its own
+    content-addressed trial), or ``"labelled_trees"`` (**all** labelled
+    trees deduplicated by the joint ``(tree, W)`` canonical key, which
+    needs an explicit ``traffic`` spec — the exact weighted tree PoA).
+    Results carry the worst witness as a canonical-key digest plus edge
+    list.  Deterministic; the base seed is unused.
+    """
+    from repro.analysis.poa import (
+        empirical_layer_poa,
+        empirical_poa,
+        empirical_tree_poa,
+        exact_weighted_tree_poa,
+    )
+
+    n = int(params["n"])
+    family = params.get("family", "graphs")
+    concept = _concept(params)
+    k = params.get("k")
+    if family == "trees":
+        result = empirical_tree_poa(n, params["alpha"], concept, k=k)
+    elif family == "graphs":
+        if params.get("m") is not None:
+            result = empirical_layer_poa(
+                n, int(params["m"]), params["alpha"], concept, k=k
+            )
+        else:
+            result = empirical_poa(n, params["alpha"], concept, k=k)
+    elif family == "labelled_trees":
+        from repro.core.traffic import traffic_from_spec
+
+        if params.get("traffic") is None:
+            raise ValueError(
+                "labelled_trees trials need an explicit 'traffic' spec "
+                "(the joint canonical key acts on the demand matrix)"
+            )
+        traffic = traffic_from_spec(params["traffic"], n)
+        weighted = exact_weighted_tree_poa(
+            n, params["alpha"], concept, traffic, k=k
+        )
+        return {
+            "poa": weighted.poa,
+            "worst_cost": weighted.worst_cost,
+            "best_cost": weighted.best_cost,
+            "equilibria": weighted.equilibria,
+            "candidates": weighted.candidates,
+            **_witness_payload(weighted.witness, traffic),
+        }
+    else:
+        raise ValueError(f"unknown graph family {family!r}")
+    return {
+        "poa": result.poa,
+        "equilibria": result.equilibria,
+        "candidates": result.candidates,
+        **_witness_payload(result.witness),
+    }
+
+
+@runner("conjecture_hunt")
+def run_conjecture_hunt(
+    params: Mapping[str, Any], base_seed: int
+) -> dict[str, Any]:
+    """One exhaustive Corbo–Parkes cell: every NE on every connected
+    graph at ``(n, alpha)``, each checked for pairwise stability
+    (:func:`repro.analysis.search.exhaustive_conjecture_sweep`), with
+    replayable refutation certificates.  Deterministic — no sampling —
+    so the sweep shards and resumes like any other campaign."""
+    from repro.analysis.search import exhaustive_conjecture_sweep
+
+    sweep = exhaustive_conjecture_sweep(
+        int(params["n"]),
+        params["alpha"],
+        max_certificates=int(params.get("max_certificates", 5)),
+    )
+    return {
+        "candidates": sweep.candidates,
+        "feasible_graphs": sweep.feasible_graphs,
+        "ne_graphs": sweep.ne_graphs,
+        "ne_assignments": sweep.ne_assignments,
+        "counterexample_graphs": sweep.counterexample_graphs,
+        "certificates": list(sweep.certificates),
     }
 
 

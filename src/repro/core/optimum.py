@@ -123,7 +123,8 @@ def brute_force_optimum_cost(n: int, alpha: AlphaLike) -> Fraction:
     """Minimum social cost over *all* non-isomorphic connected graphs.
 
     Exponential reference implementation used by the tests to validate the
-    closed-form optimum; supports ``n <= 7`` (graph atlas).
+    closed-form optimum; practical to ``n ~ 8`` (atlas to ``n = 7``,
+    canonical-key enumeration above).
     """
     from repro.graphs.generation import all_connected_graphs
 

@@ -219,10 +219,12 @@ class TestStore:
         assert len(keys) == len(set(keys)) == 2
 
     def test_error_records_not_fatal_and_retryable(self, tmp_path):
-        # graph_poa only supports n <= 7: n = 9 must error, not crash
+        # graph_poa needs a positive n: n = 0 must error, not crash
+        # (n = 9 no longer errors — the canonical-key enumerator took
+        # over past the atlas ceiling)
         spec = tiny_spec(
             grids=(
-                {"kind": "graph_poa", "n": [5, 9], "alpha": 2, "concept": "PS"},
+                {"kind": "graph_poa", "n": [5, 0], "alpha": 2, "concept": "PS"},
             )
         )
         store_dir = tmp_path / "store"
@@ -233,7 +235,7 @@ class TestStore:
         assert len(reopened.completed_keys()) == 1
         assert len(reopened.error_keys()) == 1
         record = reopened.record_for(next(iter(reopened.error_keys())))
-        assert "atlas enumeration" in record["error"]
+        assert "must be positive" in record["error"]
         # default resume retries the error; --no-retry-errors skips it
         assert run_campaign(spec, reopened, retry_errors=False).executed == 0
         retried = run_campaign(spec, CampaignStore(store_dir))
@@ -668,3 +670,227 @@ class TestNewRunnerKinds:
         run_campaign(spec, pooled, workers=2)
         assert _comparable_records(serial) == _comparable_records(pooled)
         assert render_report(spec, serial) == render_report(spec, pooled)
+
+
+class TestExactPoACampaigns:
+    def test_exact_poa_trees_family_matches_direct(self):
+        from repro.analysis.poa import empirical_tree_poa
+        from repro.campaigns.runners import execute_trial
+
+        reference = empirical_tree_poa(7, 3, Concept.PS)
+        result = execute_trial(
+            "exact_poa",
+            {
+                "family": "trees",
+                "n": 7,
+                "alpha": Fraction(3),
+                "concept": Concept.PS,
+            },
+            base_seed=0,
+        )
+        assert result["poa"] == reference.poa
+        assert result["equilibria"] == reference.equilibria
+        assert result["candidates"] == reference.candidates
+
+    def test_exact_poa_layers_partition_the_whole_family(self):
+        from repro.campaigns.runners import execute_trial
+        from repro.graphs.enumerate import max_edge_count
+
+        n, alpha = 5, Fraction(2)
+        base = {"family": "graphs", "n": n, "alpha": alpha,
+                "concept": Concept.PS}
+        whole = execute_trial("exact_poa", base, base_seed=0)
+        layers = [
+            execute_trial("exact_poa", base | {"m": m}, base_seed=0)
+            for m in range(n - 1, max_edge_count(n) + 1)
+        ]
+        assert sum(r["candidates"] for r in layers) == whole["candidates"]
+        assert sum(r["equilibria"] for r in layers) == whole["equilibria"]
+        layer_poas = [r["poa"] for r in layers if r["poa"] is not None]
+        assert max(layer_poas) == whole["poa"]
+        # the worst witness lives in exactly one layer, same certificate
+        worst = max(
+            (r for r in layers if r["poa"] == whole["poa"]),
+            key=lambda r: r["poa"],
+        )
+        assert worst["witness_key"] == whole["witness_key"]
+
+    def test_exact_poa_witness_certificate_replays(self):
+        import hashlib
+
+        import networkx as nx
+
+        from repro.campaigns.runners import execute_trial
+        from repro.graphs.canonical import canonical_key
+
+        result = execute_trial(
+            "exact_poa",
+            {
+                "family": "graphs",
+                "n": 5,
+                "alpha": Fraction(2),
+                "concept": Concept.PS,
+            },
+            base_seed=0,
+        )
+        witness = nx.Graph(
+            (u, v) for u, v in result["witness_edges"]
+        )
+        witness.add_nodes_from(range(5))
+        digest = hashlib.blake2b(
+            canonical_key(witness), digest_size=16
+        ).hexdigest()
+        assert digest == result["witness_key"]
+
+    def test_exact_poa_labelled_trees_requires_traffic(self):
+        from repro.campaigns.runners import execute_trial
+
+        with pytest.raises(ValueError, match="traffic"):
+            execute_trial(
+                "exact_poa",
+                {
+                    "family": "labelled_trees",
+                    "n": 5,
+                    "alpha": Fraction(2),
+                    "concept": Concept.PS,
+                },
+                base_seed=0,
+            )
+
+    def test_exact_poa_labelled_trees_uniform_degenerates(self):
+        from repro.analysis.poa import empirical_weighted_poa
+        from repro.campaigns.runners import execute_trial
+        from repro.core.traffic import TrafficMatrix
+
+        reference = empirical_weighted_poa(
+            5, 3, Concept.PS, traffic=TrafficMatrix.uniform(5)
+        )
+        result = execute_trial(
+            "exact_poa",
+            {
+                "family": "labelled_trees",
+                "n": 5,
+                "alpha": Fraction(3),
+                "concept": Concept.PS,
+                "traffic": {"model": "uniform"},
+            },
+            base_seed=0,
+        )
+        assert result["poa"] == reference.poa
+        assert result["candidates"] == reference.candidates
+        assert result["best_cost"] == reference.best_cost
+
+    def test_exact_poa_table_layered_equals_whole(self):
+        # the load-bearing resume property: a campaign sharded into
+        # edge-count layers renders byte-identically to an unsharded one
+        from repro.graphs.enumerate import max_edge_count
+
+        n, alphas = 5, [2, 3]
+        report = {
+            "reducer": "exact_poa_table",
+            "options": {
+                "n": n,
+                "alphas": alphas,
+                "columns": [
+                    {"header": "PoA(PS)", "concept": "PS",
+                     "params": {"family": "graphs"}},
+                ],
+            },
+        }
+        layered = CampaignSpec(
+            name="layered", kind="exact_poa", report=report,
+            grids=(
+                {
+                    "family": "graphs", "n": n, "alpha": alphas,
+                    "concept": "PS",
+                    "m": {"$range": [n - 1, max_edge_count(n) + 1]},
+                },
+            ),
+        )
+        whole = CampaignSpec(
+            name="whole", kind="exact_poa", report=report,
+            grids=(
+                {"family": "graphs", "n": n, "alpha": alphas,
+                 "concept": "PS"},
+            ),
+        )
+        layered_store = CampaignStore(None)
+        whole_store = CampaignStore(None)
+        assert run_campaign(layered, layered_store, workers=2).failed == 0
+        assert run_campaign(whole, whole_store).failed == 0
+        left = render_report(layered, layered_store)
+        right = render_report(whole, whole_store)
+        assert left.split("\n", 1)[1] == right.split("\n", 1)[1]
+        assert "?" not in left
+
+    def test_conjecture_hunt_runner_finds_prop_2_3(self):
+        import networkx as nx
+
+        from repro.campaigns.runners import execute_trial
+        from repro.core.state import GameState
+        from repro.equilibria.nash import (
+            EdgeAssignment,
+            is_nash_equilibrium,
+        )
+        from repro.equilibria.pairwise import find_pairwise_violation
+
+        result = execute_trial(
+            "conjecture_hunt",
+            {"n": 5, "alpha": Fraction(2)},
+            base_seed=0,
+        )
+        assert result["candidates"] == 21
+        assert result["counterexample_graphs"] == 1
+        assert result["ne_graphs"] >= 1
+        [cert] = [
+            c for c in result["certificates"]
+            if c["break_type"] == "RemoveEdge"
+        ]
+        # the certificate replays: its assignment is a genuine NE on its
+        # graph, and the graph genuinely breaks pairwise stability
+        graph = nx.Graph((u, v) for u, v in cert["edges"])
+        state = GameState(graph, 2)
+        assignment = EdgeAssignment.from_pairs(
+            (owner, other) for owner, other in cert["owners"]
+        )
+        assert is_nash_equilibrium(state, assignment)
+        assert find_pairwise_violation(state) is not None
+
+    def test_committed_conjecture_spec_equals_example_spec(self):
+        sys.path.insert(0, str(REPO_ROOT / "examples"))
+        try:
+            from conjecture_hunt import hunt_spec
+        finally:
+            sys.path.pop(0)
+        committed = CampaignSpec.load(CAMPAIGNS_DIR / "conjecture_hunt.json")
+        in_code = hunt_spec()
+        assert {t.key for t in committed.trials()} == {
+            t.key for t in in_code.trials()
+        }
+        assert committed.report == in_code.report
+        assert committed.kind == in_code.kind
+
+    def test_committed_exact_poa_spec_expands_and_runs_a_slice(self):
+        spec = CampaignSpec.load(CAMPAIGNS_DIR / "exact_poa.json")
+        trials = spec.trials()
+        assert len(trials) == 92  # 22 layers x 2 alphas x 2 concepts + 4
+        families = {trial.params["family"] for trial in trials}
+        assert families == {"graphs", "trees"}
+        store = CampaignStore(None)
+        stats = run_campaign(spec, store, max_trials=4)
+        assert stats.executed == 4 and stats.failed == 0
+        report = render_report(spec, store)
+        assert "?" in report  # 88 layers still pending render as ?
+
+    def test_conjecture_table_marks_pending_cells(self):
+        spec = CampaignSpec(
+            name="pending-hunt", kind="conjecture_hunt",
+            grids=({"n": 4, "alpha": [2, 3]},),
+            report={"reducer": "conjecture_table"},
+        )
+        store = CampaignStore(None)
+        run_campaign(spec, store, max_trials=1)
+        report = render_report(spec, store)
+        assert "?" in report
+        run_campaign(spec, store)
+        assert "?" not in render_report(spec, store)

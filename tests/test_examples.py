@@ -41,6 +41,10 @@ class TestExamplesRun:
         load_example("conjecture_hunt").main(5, 2, 3)
         output = capsys.readouterr().out
         assert "Frozen minimal witness" in output
+        # the exhaustive sweep rediscovers the Prop 2.3 refutation at
+        # (n=5, alpha=2) and prints its replayable certificate
+        assert "Corbo-Parkes conjecture, exhaustively" in output
+        assert "RemoveEdge" in output
 
     @pytest.mark.slow
     def test_worst_case_gallery(self, capsys):

@@ -77,9 +77,20 @@ class TestAtlasEnumeration:
     def test_connected_graph_counts(self, n, count):
         assert sum(1 for _ in all_connected_graphs(n)) == count
 
-    def test_rejects_beyond_atlas(self):
+    def test_dispatches_beyond_atlas(self):
+        # n = 8 is past the networkx atlas: the canonical-key layered
+        # enumerator takes over (tree layer first, so the slice is cheap)
+        import itertools
+
+        graphs = list(itertools.islice(all_connected_graphs(8), 5))
+        assert len(graphs) == 5
+        for graph in graphs:
+            assert graph.number_of_nodes() == 8
+            assert nx.is_connected(graph)
+
+    def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
-            list(all_connected_graphs(8))
+            list(all_connected_graphs(0))
 
 
 class TestRandomModels:
