@@ -43,6 +43,9 @@ TRACKED = {
     # canonical-key layer dedup vs pairwise nx.is_isomorphic on the
     # same extension streams (trees + connected graphs)
     "BENCH_enumeration": ("workloads", "speedup"),
+    # serve warm-engine cache vs cold rebuilds on a replayed request
+    # trace (speedup = cold/warm seconds at the ServeApp.handle layer)
+    "BENCH_serve_qps": ("workloads", "speedup"),
 }
 
 

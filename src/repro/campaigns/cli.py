@@ -1,30 +1,49 @@
-"""``python -m repro.campaigns`` — run, resume and report campaigns.
+"""``python -m repro.campaigns`` — run, resume, merge and report campaigns.
 
 Subcommands::
 
     run SPEC [--store DIR] [--workers N] [--chunk-size N]
              [--max-trials N] [--no-retry-errors] [--quiet]
+             [--claim] [--host-id ID] [--lease-ttl S]
     status STORE
+    merge STORE [--prune]
     report STORE [--out FILE]
 
 ``run`` is always a *resume*: trials the store has already completed are
 skipped, so interrupting a campaign (Ctrl-C, SIGKILL, a dead machine)
 costs only the unfinished trials.  The default store directory is
 ``.campaigns/<campaign name>`` under the current directory.
+
+``--claim`` cooperates with other hosts on one shared store: pending
+work is taken chunk-by-chunk under filesystem leases
+(:mod:`repro.campaigns.leases`) and results land in this host's shard
+``results-<host id>.jsonl``.  Run the same command on every host;
+``merge`` afterwards folds the shards into the canonical
+``results.jsonl`` (``--prune`` deletes them once folded).  Reports do
+not require a merge — the store scans shards transparently.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import socket
 import sys
 from pathlib import Path
 
 from repro.campaigns.aggregate import render_report
 from repro.campaigns.executor import RunStats, TrialOutcome, run_campaign
+from repro.campaigns.leases import LeaseManager
 from repro.campaigns.spec import CampaignSpec
-from repro.campaigns.store import CampaignStore
+from repro.campaigns.store import CampaignStore, merge_shards
 
 __all__ = ["main"]
+
+
+def default_host_id() -> str:
+    """``<hostname>-<pid>`` — unique enough for cooperating processes on
+    one machine and across a cluster alike."""
+    return f"{socket.gethostname()}-{os.getpid()}"
 
 
 def _default_store(spec: CampaignSpec) -> Path:
@@ -59,7 +78,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    with CampaignStore(store_dir) as store:
+    host_id = None
+    if args.claim:
+        host_id = args.host_id or default_host_id()
+    elif args.host_id:
+        raise SystemExit("--host-id only makes sense with --claim")
+
+    with CampaignStore(store_dir, host_id=host_id) as store:
         try:
             stats = run_campaign(
                 spec,
@@ -69,6 +94,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 max_trials=args.max_trials,
                 retry_errors=not args.no_retry_errors,
                 progress=progress,
+                claim=args.claim,
+                lease_ttl=args.lease_ttl,
             )
         except KeyboardInterrupt:
             print(
@@ -77,15 +104,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 130
+    claimed = (
+        f", {stats.claimed_chunks} chunks claimed as {host_id} "
+        f"({stats.lease_skips} held elsewhere, {stats.reclaimed} reclaimed)"
+        if args.claim
+        else ""
+    )
     print(
         f"campaign {spec.name}: {stats.total} trials, "
         f"{stats.skipped} already done, {stats.executed} run "
         f"({stats.failed} failed), {stats.remaining} remaining, "
-        f"{stats.elapsed:.2f}s",
+        f"{stats.elapsed:.2f}s{claimed}",
         file=stream,
     )
     if stats.failed:
         return 1
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    store = _open_store_dir(args.store)
+    shard_names = [path.name for path in store.shard_paths()]
+    if not shard_names:
+        print(f"{store.root}: no shards to merge")
+        return 0
+    stats = merge_shards(store.root, prune=args.prune)
+    for name in shard_names:
+        corrupt = (
+            f", {stats.corrupt_lines[name]} torn lines ignored"
+            if stats.corrupt_lines.get(name)
+            else ""
+        )
+        print(
+            f"{name}: {stats.records[name]} records, "
+            f"{stats.merged[name]} merged, "
+            f"{stats.duplicates[name]} duplicates{corrupt}"
+        )
+    print(
+        f"merged {stats.total_merged} records into results.jsonl"
+        + (f"; pruned {len(stats.pruned)} shards" if stats.pruned else "")
+    )
     return 0
 
 
@@ -106,8 +164,22 @@ def _cmd_status(args: argparse.Namespace) -> int:
     print(f"completed: {done}")
     print(f"errored:   {failed}")
     print(f"pending:   {pending}")
+    shards = store.shard_paths()
+    if shards:
+        print(f"shards:    {len(shards)} ({', '.join(p.name for p in shards)})")
+    leases = (
+        LeaseManager(store.root, "status-probe").active()
+        if (store.root / "claims").is_dir()
+        else []
+    )
+    for lease in leases:
+        print(
+            f"lease:     chunk {lease.chunk} held by {lease.host} "
+            f"(ttl {lease.ttl:.0f}s)"
+        )
     if store.corrupt_lines:
-        print(f"torn results lines ignored: {store.corrupt_lines}")
+        for name, count in sorted(store.file_corrupt_lines.items()):
+            print(f"torn lines ignored in {name}: {count}")
     return 0 if pending == 0 and failed == 0 else 3
 
 
@@ -148,11 +220,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="also skip trials whose previous attempt errored",
     )
     run.add_argument("--quiet", action="store_true")
+    run.add_argument(
+        "--claim", action="store_true",
+        help="cooperate with other hosts: take pending work chunk-by-chunk "
+        "under filesystem leases, writing to this host's shard",
+    )
+    run.add_argument(
+        "--host-id", default=None,
+        help="shard / lease identity (default: <hostname>-<pid>)",
+    )
+    run.add_argument(
+        "--lease-ttl", type=float, default=60.0,
+        help="seconds before an unrefreshed lease counts as dead "
+        "(default 60; must outlast the slowest single trial)",
+    )
     run.set_defaults(fn=_cmd_run)
 
     status = sub.add_parser("status", help="summarise a campaign store")
     status.add_argument("store", help="campaign store directory")
     status.set_defaults(fn=_cmd_status)
+
+    merge = sub.add_parser(
+        "merge", help="fold per-host result shards into results.jsonl"
+    )
+    merge.add_argument("store", help="campaign store directory")
+    merge.add_argument(
+        "--prune", action="store_true",
+        help="delete each shard after folding it",
+    )
+    merge.set_defaults(fn=_cmd_merge)
 
     report = sub.add_parser(
         "report", help="render a completed campaign's report"

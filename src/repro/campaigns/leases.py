@@ -1,0 +1,246 @@
+"""Atomic chunk-claim leases for multi-host campaign execution.
+
+A campaign store that several hosts work on concurrently needs a way to
+divide the pending trials without a coordinator.  The lease protocol
+lives entirely in the filesystem — a ``claims/`` directory next to the
+result files — and uses only *atomic metadata operations* (``link`` to
+acquire, ``rename`` to refresh and to break), so it is safe on the
+shared filesystems campaign stores live on and needs no ``fcntl`` locks
+(whose semantics are famously unreliable over NFS).
+
+Protocol, per chunk of the deterministic trial partition:
+
+``claims/<chunk>.lease``
+    Held by exactly one host.  *Acquire* writes the lease body to a
+    private temp file and ``os.link``\\ s it to the lease path — the link
+    either creates the name atomically or fails because another host
+    holds it; there is no window in which two hosts both succeed.
+    *Heartbeat* rewrites the temp file with a fresh ``refreshed``
+    timestamp and ``os.rename``\\ s it over the lease (atomic replace; only
+    the owner refreshes).  *Release* unlinks it.
+``claims/<chunk>.done``
+    Written (atomic rename) once every trial of the chunk has an ``ok``
+    record; a done chunk is never claimable again.
+
+Crash recovery: a host that dies stops heartbeating, so its lease's
+``refreshed`` timestamp ages past the TTL.  Another host *breaks* the
+stale lease by renaming it aside — the rename succeeds for exactly one
+contender (the loser's rename raises ``FileNotFoundError``) — and then
+runs the normal acquire.  A torn lease body (SIGKILL mid-write) parses
+as stale, so it is breakable immediately.
+
+The TTL must exceed the longest heartbeat gap — the executor refreshes
+after every finished trial, so in practice: the slowest single trial.
+A lease broken *while its owner still lives* (TTL set too low) cannot
+corrupt results: trials are deterministic and shard records are
+idempotent, so the worst case is duplicated work, never divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from hashlib import blake2b
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["Lease", "LeaseManager", "chunk_id"]
+
+_CLAIMS_DIR = "claims"
+
+
+def chunk_id(trial_keys: Sequence[str]) -> str:
+    """Content-addressed identity of one chunk of the trial partition.
+
+    Hashing the ordered trial keys makes the id a pure function of the
+    spec expansion and the chunking, so every cooperating host computes
+    the same ids without coordination (hosts must agree on the chunk
+    size for the partitions to line up; the executor derives it
+    deterministically from the spec for exactly this reason).
+    """
+    digest = blake2b("\n".join(trial_keys).encode(), digest_size=12)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Lease:
+    """Decoded body of one lease file."""
+
+    chunk: str
+    host: str
+    acquired: float
+    refreshed: float
+    ttl: float
+
+    def stale(self, now: float) -> bool:
+        return now > self.refreshed + self.ttl
+
+
+class LeaseManager:
+    """Claim, heartbeat, release and reclaim chunk leases for one host.
+
+    ``clock`` is injectable for the TTL-expiry tests; production uses
+    ``time.time`` (wall time — lease timestamps are compared *across
+    hosts*, so a shared wall clock with seconds-level agreement is
+    assumed, which TTLs of tens of seconds tolerate comfortably).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        host_id: str,
+        ttl: float = 60.0,
+        clock=time.time,
+    ):
+        if not host_id:
+            raise ValueError("claiming needs a non-empty host id")
+        if any(sep in host_id for sep in ("/", "\\", "\0")):
+            raise ValueError(f"host id {host_id!r} must be filename-safe")
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.root = Path(root)
+        self.claims = self.root / _CLAIMS_DIR
+        self.claims.mkdir(parents=True, exist_ok=True)
+        self.host_id = host_id
+        self.ttl = float(ttl)
+        self._clock = clock
+        #: chunks this manager currently holds
+        self.held: set[str] = set()
+        #: stale leases this manager broke (dead-host reclaims)
+        self.reclaimed = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def _lease_path(self, chunk: str) -> Path:
+        return self.claims / f"{chunk}.lease"
+
+    def _done_path(self, chunk: str) -> Path:
+        return self.claims / f"{chunk}.done"
+
+    def _tmp_path(self, chunk: str) -> Path:
+        return self.claims / f".{chunk}.{self.host_id}.{uuid.uuid4().hex}.tmp"
+
+    # -- inspection ----------------------------------------------------------
+
+    def read(self, chunk: str) -> Lease | None:
+        """The current lease of ``chunk``, or ``None`` (absent or torn)."""
+        try:
+            payload = json.loads(self._lease_path(chunk).read_text())
+            return Lease(
+                chunk=chunk,
+                host=str(payload["host"]),
+                acquired=float(payload["acquired"]),
+                refreshed=float(payload["refreshed"]),
+                ttl=float(payload["ttl"]),
+            )
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # torn body from a killed writer: report as a stale sentinel
+            # so claimants break it through the normal rename path
+            return Lease(
+                chunk=chunk, host="?", acquired=0.0, refreshed=0.0,
+                ttl=0.0,
+            )
+
+    def is_done(self, chunk: str) -> bool:
+        return self._done_path(chunk).exists()
+
+    def active(self) -> list[Lease]:
+        """Every currently-parseable lease (diagnostics / ``status``)."""
+        leases = []
+        for path in sorted(self.claims.glob("*.lease")):
+            lease = self.read(path.stem)
+            if lease is not None:
+                leases.append(lease)
+        return leases
+
+    # -- the protocol --------------------------------------------------------
+
+    def _write_body(self, chunk: str, acquired: float) -> Path:
+        now = self._clock()
+        tmp = self._tmp_path(chunk)
+        tmp.write_text(
+            json.dumps(
+                {
+                    "host": self.host_id,
+                    "acquired": acquired if acquired else now,
+                    "refreshed": now,
+                    "ttl": self.ttl,
+                },
+                sort_keys=True,
+            )
+        )
+        return tmp
+
+    def claim(self, chunk: str) -> bool:
+        """Try to acquire ``chunk``; True iff this host now holds it."""
+        if self.is_done(chunk):
+            return False
+        lease = self.read(chunk)
+        if lease is not None:
+            if lease.host == self.host_id and chunk in self.held:
+                return True
+            if not lease.stale(self._clock()):
+                return False
+            # stale: break it by renaming aside — atomic, single-winner
+            broken = self.claims / f".{chunk}.broken.{uuid.uuid4().hex}"
+            try:
+                os.rename(self._lease_path(chunk), broken)
+            except FileNotFoundError:
+                # another contender broke it first; fall through and race
+                # for the acquire like everyone else
+                pass
+            else:
+                self.reclaimed += 1
+                broken.unlink(missing_ok=True)
+        tmp = self._write_body(chunk, acquired=0.0)
+        try:
+            os.link(tmp, self._lease_path(chunk))
+        except FileExistsError:
+            return False
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.held.add(chunk)
+        return True
+
+    def refresh(self, chunk: str) -> None:
+        """Heartbeat: push the held lease's ``refreshed`` forward.
+
+        Guarded by an ownership check so a host whose lease was broken
+        (it was presumed dead) does not resurrect it; past that check the
+        ``rename`` is atomic, so readers always see a whole body.
+        """
+        if chunk not in self.held:
+            raise ValueError(f"host {self.host_id} does not hold {chunk}")
+        lease = self.read(chunk)
+        if lease is None or lease.host != self.host_id:
+            self.held.discard(chunk)
+            raise ValueError(
+                f"lease for {chunk} was reclaimed by "
+                f"{lease.host if lease else 'nobody'} — "
+                "raise the ttl above the slowest trial"
+            )
+        acquired = lease.acquired
+        tmp = self._write_body(chunk, acquired=acquired)
+        os.rename(tmp, self._lease_path(chunk))
+
+    def release(self, chunk: str, done: bool = False) -> None:
+        """Drop a held lease; ``done=True`` also retires the chunk."""
+        if done:
+            tmp = self._tmp_path(chunk)
+            tmp.write_text(
+                json.dumps({"host": self.host_id, "at": self._clock()})
+            )
+            os.rename(tmp, self._done_path(chunk))
+        lease = self.read(chunk)
+        if lease is not None and lease.host == self.host_id:
+            self._lease_path(chunk).unlink(missing_ok=True)
+        self.held.discard(chunk)
+
+    def release_all(self) -> None:
+        for chunk in list(self.held):
+            self.release(chunk)

@@ -54,6 +54,7 @@ __all__ = [
     "canonical_cache_info",
     "canonical_graph",
     "canonical_key",
+    "canonical_labelling",
     "decode_key",
     "key_of_masks",
     "masks_of_graph",
@@ -210,9 +211,25 @@ def key_of_masks(
     non-negative ints — the key then canonicalises the *joint*
     ``(graph, W)`` structure.
     """
+    best, _ = _minimise(n, adj, weights)
+    return _serialise(n, best, weights is not None)
+
+
+def _minimise(
+    n: int,
+    adj: Sequence[int],
+    weights: Sequence[Sequence[int]] | None,
+) -> tuple[tuple, list[int]]:
+    """The lexicographically minimal candidate and its discrete colouring.
+
+    Shared core of :func:`key_of_masks` and :func:`canonical_labelling`:
+    returns ``(candidate, colors)`` where ``colors[u]`` is vertex ``u``'s
+    canonical position in the winning labelling.
+    """
     if not 0 < n <= _MAX_KEY_NODES:
         raise ValueError(f"canonical keys support 1..{_MAX_KEY_NODES} nodes")
     best = None
+    best_colors: list[int] = []
     colors0 = _refine(n, adj, weights, [0] * n)
     stack = [colors0]
     while stack:
@@ -229,6 +246,7 @@ def key_of_masks(
             candidate = _leaf_candidate(n, adj, weights, colors)
             if best is None or candidate < best:
                 best = candidate
+                best_colors = list(colors)
             continue
         cell = [u for u in range(n) if colors[u] == target]
         tried: list[int] = []
@@ -242,7 +260,7 @@ def key_of_masks(
             ]
             branched[v] = target
             stack.append(_refine(n, adj, weights, branched))
-    return _serialise(n, best, weights is not None)
+    return best, best_colors
 
 
 def _serialise(n: int, candidate, weighted: bool) -> bytes:
@@ -294,6 +312,32 @@ def canonical_graph(graph: nx.Graph, traffic=None) -> nx.Graph:
     """
     decoded, _ = decode_key(canonical_key(graph, traffic))
     return decoded
+
+
+def canonical_labelling(graph: nx.Graph, traffic=None) -> tuple[int, ...]:
+    """The relabelling onto the canonical representative.
+
+    Returns ``sigma`` with ``sigma[u]`` = vertex ``u``'s label in
+    :func:`canonical_graph`; relabelling ``graph`` by ``sigma`` (and
+    permuting a demand matrix as ``W'[sigma[u], sigma[v]] = W[u, v]``)
+    reproduces the canonical representative *identically*.  This is what
+    lets a cache keyed by :func:`canonical_key` serve label-dependent
+    queries ("agent ``u``'s best move") for any representative of the
+    class: map the query through ``sigma``, answer on the canonical
+    instance, and map the answer back through ``sigma``'s inverse.
+    """
+    n = graph.number_of_nodes()
+    adj = masks_of_graph(graph)
+    weights = None
+    if traffic is not None:
+        weights = _weights_tuple(getattr(traffic, "weights", traffic))
+        if len(weights) != n:
+            raise ValueError(
+                f"demand matrix is {len(weights)}x{len(weights)}, "
+                f"graph has {n} nodes"
+            )
+    _, colors = _minimise(n, adj, weights)
+    return tuple(colors)
 
 
 def decode_key(key: bytes) -> tuple[nx.Graph, np.ndarray | None]:

@@ -1,0 +1,144 @@
+"""Warm-engine registry: LRU over canonical instance keys, byte-budgeted.
+
+One *instance* of the service's query surface is ``(graph, W, alpha,
+cost_model)``.  Its cache identity is the BLAKE2b digest of the PR-8
+joint canonical key (:func:`repro.graphs.canonical.canonical_key` —
+isomorphism-invariant over the labelled weighted pair) plus the exact
+``alpha`` and the cost-model spec, so two requests about relabelled
+copies of the same instance share a single cached engine (the
+materialised :class:`~repro.core.state.GameState` with its incremental
+:class:`~repro.graphs.distances.DistanceMatrix`): the expensive APSP
+build, bridge set and maintained totals are paid once per isomorphism
+class, not once per request.
+
+Eviction is least-recently-used under a byte budget (the dominant term
+is the ``n x n`` int64 distance matrix; the estimate below charges the
+engine's resident arrays, not Python object overhead).  A budget of
+``0`` disables caching entirely — every request builds cold, which is
+the baseline arm of ``bench_serve_qps.py``.
+
+Module counters follow the engine's spy discipline
+(``TOTALS_REBUILDS`` & co): ``ENGINE_BUILDS`` counts every cold engine
+construction process-wide, so tests can assert a warm path built
+nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.state import GameState
+
+__all__ = [
+    "ENGINE_BUILDS",
+    "CachedEngine",
+    "EngineCache",
+    "engine_cache_info",
+    "estimate_engine_bytes",
+]
+
+#: process-wide count of cold engine materialisations (spy counter)
+ENGINE_BUILDS = 0
+
+
+def note_engine_build() -> None:
+    global ENGINE_BUILDS
+    ENGINE_BUILDS += 1
+
+
+def engine_cache_info() -> dict[str, int]:
+    """The module-level spy counters (process-wide)."""
+    return {"engine_builds": ENGINE_BUILDS}
+
+
+def estimate_engine_bytes(state: GameState) -> int:
+    """Resident-byte estimate of one warm engine.
+
+    Charges the distance matrix, its CSR/bridge/totals side structures
+    (~2x the matrix in practice) and the demand matrix; the fixed term
+    covers the graph object and bookkeeping.  An estimate is enough —
+    the budget bounds growth, it is not an allocator.
+    """
+    matrix_bytes = state.dist.matrix.nbytes
+    weights_bytes = (
+        state.traffic.weights.nbytes if state.traffic is not None else 0
+    )
+    return 3 * matrix_bytes + weights_bytes + 4096
+
+
+@dataclass
+class CachedEngine:
+    """One resident instance: the canonical state plus cache metadata."""
+
+    digest: str
+    state: GameState  # canonically labelled (graph and demand matrix)
+    # labelling memo: request fingerprint -> (sigma, sigma inverse), so a
+    # repeated representative pays the individualisation search once
+    sigma_cache: dict = field(default_factory=dict)
+    # engine queries mutate the shared distance matrix speculatively;
+    # concurrent requests on one entry serialise here
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    nbytes: int = 0
+    hits: int = 0
+
+
+class EngineCache:
+    """LRU of :class:`CachedEngine` under a byte budget."""
+
+    def __init__(self, byte_budget: int = 256 * 1024 * 1024):
+        if byte_budget < 0:
+            raise ValueError("byte budget must be >= 0")
+        self.byte_budget = int(byte_budget)
+        self._entries: "OrderedDict[str, CachedEngine]" = OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> CachedEngine | None:
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(digest)
+        entry.hits += 1
+        self.hits += 1
+        return entry
+
+    def put(self, digest: str, state: GameState) -> CachedEngine:
+        """Insert a freshly built engine (evicting LRU past the budget).
+
+        With a zero budget nothing is retained — the entry is returned
+        for the current request but the registry stays empty.
+        """
+        entry = CachedEngine(
+            digest=digest, state=state, nbytes=estimate_engine_bytes(state)
+        )
+        if self.byte_budget == 0:
+            return entry
+        existing = self._entries.pop(digest, None)
+        if existing is not None:
+            self.bytes -= existing.nbytes
+        self._entries[digest] = entry
+        self.bytes += entry.nbytes
+        while self.bytes > self.byte_budget and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self.bytes -= evicted.nbytes
+            self.evictions += 1
+        return entry
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "engines_resident": len(self._entries),
+            "engine_bytes": self.bytes,
+            "engine_byte_budget": self.byte_budget,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
