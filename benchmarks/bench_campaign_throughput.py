@@ -27,7 +27,7 @@ import time
 from repro.analysis.tables import render_table
 from repro.campaigns import CampaignSpec, CampaignStore, run_campaign
 
-from _harness import RESULTS_DIR, emit, once
+from _harness import RESULTS_DIR, emit, once, write_bench_json
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
@@ -95,9 +95,7 @@ def study():
         }
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_campaign_throughput.json").write_text(
-        json.dumps({"quick": QUICK, "grids": payload}, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_campaign_throughput", {"quick": QUICK, "grids": payload})
     return payload
 
 

@@ -44,7 +44,7 @@ from repro.core.state import GameState
 from repro.graphs.distances import DistanceMatrix
 from repro.graphs.generation import random_connected_gnp
 
-from _harness import RESULTS_DIR, emit, once
+from _harness import RESULTS_DIR, emit, once, write_bench_json
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 UNREACHABLE = 10**7
@@ -197,9 +197,7 @@ def study():
         for name, stats in payload.items()
     ]
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_costmodel_overhead.json").write_text(
-        json.dumps({"quick": QUICK, "workloads": payload}, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_costmodel_overhead", {"quick": QUICK, "workloads": payload})
     return rows, payload
 
 

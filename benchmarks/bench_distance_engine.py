@@ -22,7 +22,7 @@ from repro.analysis.tables import render_table
 from repro.graphs.distances import DistanceMatrix, apsp_matrix
 from repro.graphs.generation import random_connected_gnp, random_tree
 
-from _harness import RESULTS_DIR, emit, once
+from _harness import RESULTS_DIR, emit, once, write_bench_json
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 UNREACHABLE = 10**7
@@ -117,9 +117,7 @@ def study():
             "speedup": speedup,
         }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_distance_engine.json").write_text(
-        json.dumps({"quick": QUICK, "families": payload}, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_distance_engine", {"quick": QUICK, "families": payload})
     return rows, payload
 
 

@@ -44,7 +44,7 @@ from repro.core.traffic import TrafficMatrix
 from repro.dynamics.movegen import improving_moves
 from repro.graphs.generation import random_connected_gnp, random_tree
 
-from _harness import RESULTS_DIR, emit, once
+from _harness import RESULTS_DIR, emit, once, write_bench_json
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
@@ -195,9 +195,7 @@ def study():
             "kernel_speedup": kernel_speedup,
         }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_dynamics_rounds.json").write_text(
-        json.dumps({"quick": QUICK, "rounds": payload}, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_dynamics_rounds", {"quick": QUICK, "rounds": payload})
     return rows, payload
 
 

@@ -36,7 +36,7 @@ from repro.graphs.enumerate import (
     tree_layer_keys,
 )
 
-from _harness import RESULTS_DIR, emit, once
+from _harness import RESULTS_DIR, emit, once, write_bench_json
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
@@ -150,9 +150,7 @@ def study():
         for name, stats in payload.items()
     ]
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_enumeration.json").write_text(
-        json.dumps({"quick": QUICK, "workloads": payload}, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_enumeration", {"quick": QUICK, "workloads": payload})
     return rows, payload
 
 

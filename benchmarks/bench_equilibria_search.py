@@ -39,7 +39,7 @@ from repro.equilibria.strong import (
 )
 from repro.graphs.generation import random_tree
 
-from _harness import RESULTS_DIR, emit, once
+from _harness import RESULTS_DIR, emit, once, write_bench_json
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
@@ -246,9 +246,7 @@ def study():
     }
 
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_equilibria_search.json").write_text(
-        json.dumps({"quick": QUICK, "workloads": payload}, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_equilibria_search", {"quick": QUICK, "workloads": payload})
     return rows, payload
 
 

@@ -45,7 +45,7 @@ from repro.graphs.generation import random_connected_gnp, random_tree
 from repro.serve import MaterialisedViews, ServeApp
 from repro.serve.http import start_server_in_thread
 
-from _harness import RESULTS_DIR, emit, once
+from _harness import RESULTS_DIR, emit, once, write_bench_json
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
@@ -201,9 +201,7 @@ def study():
         }
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_serve_qps.json").write_text(
-        json.dumps({"quick": QUICK, "workloads": payload}, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_serve_qps", {"quick": QUICK, "workloads": payload})
     return payload
 
 

@@ -31,7 +31,7 @@ from repro.graphs import distances as distances_mod
 from repro.graphs.distances import DistanceMatrix
 from repro.graphs.generation import random_connected_gnp
 
-from _harness import RESULTS_DIR, emit, once
+from _harness import RESULTS_DIR, emit, once, write_bench_json
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 UNREACHABLE = 10**7
@@ -98,9 +98,7 @@ def study():
     payload["recommended_small_n"] = recommended
     payload["committed_small_n"] = distances_mod._SMALL_N
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_small_n_dispatch.json").write_text(
-        json.dumps({"quick": QUICK, **payload}, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_small_n_dispatch", {"quick": QUICK, **payload})
     return rows, payload
 
 

@@ -35,7 +35,7 @@ from repro.core.traffic import TrafficMatrix
 from repro.graphs.distances import DistanceMatrix
 from repro.graphs.generation import random_connected_gnp
 
-from _harness import RESULTS_DIR, emit, once
+from _harness import RESULTS_DIR, emit, once, write_bench_json
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 UNREACHABLE = 10**7
@@ -161,9 +161,7 @@ def study():
         for name, stats in payload.items()
     ]
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_weighted_totals.json").write_text(
-        json.dumps({"quick": QUICK, "workloads": payload}, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_weighted_totals", {"quick": QUICK, "workloads": payload})
     return rows, payload
 
 

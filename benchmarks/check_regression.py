@@ -46,6 +46,10 @@ TRACKED = {
     # serve warm-engine cache vs cold rebuilds on a replayed request
     # trace (speedup = cold/warm seconds at the ServeApp.handle layer)
     "BENCH_serve_qps": ("workloads", "speedup"),
+    # telemetry cost: speedup = trace-disabled/trace-enabled seconds per
+    # best-response sweep round (~1.0 by design; the 0.7 floor fails a
+    # change that makes enabled tracing eat >40% of a round)
+    "BENCH_obs_overhead": ("workloads", "speedup"),
 }
 
 

@@ -6,6 +6,7 @@ Subcommands::
              [--max-trials N] [--no-retry-errors] [--quiet]
              [--claim] [--host-id ID] [--lease-ttl S]
     status STORE
+    profile STORE [--trace FILE]
     merge STORE [--prune]
     report STORE [--out FILE]
 
@@ -26,6 +27,7 @@ not require a merge — the store scans shards transparently.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import socket
 import sys
@@ -147,6 +149,45 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kind_progress(spec, store):
+    """Per-kind ``(total, done, failed, pending, mean_elapsed)`` rows.
+
+    ``mean_elapsed`` comes from the completed trials' recorded wall
+    times, or ``None`` for kinds with no completion yet.
+    """
+    completed = store.completed_keys()
+    errors = store.error_keys()
+    rows: dict[str, dict] = {}
+    for trial in spec.trials():
+        row = rows.setdefault(
+            trial.kind, {"total": 0, "done": 0, "failed": 0, "elapsed": 0.0}
+        )
+        row["total"] += 1
+        if trial.key in completed:
+            row["done"] += 1
+            record = store.record_for(trial.key)
+            if record is not None:
+                row["elapsed"] += float(record.get("elapsed", 0.0))
+        elif trial.key in errors:
+            row["failed"] += 1
+    out = []
+    for kind in sorted(rows):
+        row = rows[kind]
+        pending = row["total"] - row["done"] - row["failed"]
+        mean = row["elapsed"] / row["done"] if row["done"] else None
+        out.append((kind, row["total"], row["done"], row["failed"],
+                    pending, mean))
+    return out
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     store = _open_store_dir(args.store)
     spec = store.load_spec()
@@ -164,9 +205,39 @@ def _cmd_status(args: argparse.Namespace) -> int:
     print(f"completed: {done}")
     print(f"errored:   {failed}")
     print(f"pending:   {pending}")
+    # per-kind progress + a naive serial ETA from recorded wall times:
+    # pending x mean(elapsed of completed trials of the same kind).  No
+    # worker-count correction — it is an upper bound for parallel runs.
+    eta_total = 0.0
+    eta_known = True
+    for kind, total, kdone, kfailed, kpending, mean in _kind_progress(
+        spec, store
+    ):
+        mean_text = f", ~{mean:.2f}s/trial" if mean is not None else ""
+        print(
+            f"  {kind}: {kdone}/{total} done"
+            + (f", {kfailed} errored" if kfailed else "")
+            + (f", {kpending} pending" if kpending else "")
+            + mean_text
+        )
+        if kpending:
+            if mean is None:
+                eta_known = False
+            else:
+                eta_total += kpending * mean
+    if pending and eta_total:
+        qualifier = "" if eta_known else ">="
+        print(
+            f"eta:       {qualifier}{_format_eta(eta_total)} serial "
+            "(naive: pending x mean elapsed per kind)"
+        )
     shards = store.shard_paths()
     if shards:
         print(f"shards:    {len(shards)} ({', '.join(p.name for p in shards)})")
+        # claim-mode breakdown: which host's shard carries how many records
+        for path in shards:
+            count = store.file_record_counts.get(path.name, 0)
+            print(f"  {path.name}: {count} records")
     leases = (
         LeaseManager(store.root, "status-probe").active()
         if (store.root / "claims").is_dir()
@@ -181,6 +252,97 @@ def _cmd_status(args: argparse.Namespace) -> int:
         for name, count in sorted(store.file_corrupt_lines.items()):
             print(f"torn lines ignored in {name}: {count}")
     return 0 if pending == 0 and failed == 0 else 3
+
+
+def _read_spans(path: Path) -> list[dict]:
+    """Decode a trace sink, tolerating torn lines like the store scanner."""
+    spans = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "span" not in record:
+                    continue
+            except json.JSONDecodeError:
+                continue
+            spans.append(record)
+    return spans
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    store = _open_store_dir(args.store)
+    spec = store.load_spec()
+    print(f"campaign:  {spec.name}")
+    print(f"store:     {store.root}")
+
+    # -- where the time went, from recorded trial wall times ----------------
+    kinds = _kind_progress(spec, store)
+    grand = sum(
+        (mean or 0.0) * kdone for _, _, kdone, _, _, mean in kinds
+    )
+    print("per-kind elapsed (completed trials):")
+    for kind, total, kdone, kfailed, kpending, mean in kinds:
+        if not kdone or mean is None:
+            print(f"  {kind}: no completed trials yet")
+            continue
+        spent = mean * kdone
+        share = 100.0 * spent / grand if grand else 0.0
+        print(
+            f"  {kind}: {spent:.2f}s over {kdone} trials "
+            f"({mean:.3f}s mean, {share:.0f}%)"
+        )
+    eta_total = sum(
+        kpending * mean
+        for _, _, _, _, kpending, mean in kinds
+        if mean is not None
+    )
+    pending_total = sum(kpending for _, _, _, _, kpending, _ in kinds)
+    if pending_total:
+        print(
+            f"eta:       ~{_format_eta(eta_total)} serial "
+            f"for {pending_total} pending trials"
+        )
+
+    # -- where the time went, by trace span ---------------------------------
+    trace_path = None
+    if args.trace:
+        trace_path = Path(args.trace)
+    else:
+        candidate = store.root / "trace.jsonl"
+        if candidate.exists():
+            trace_path = candidate
+    if trace_path is None or not trace_path.exists():
+        print(
+            "trace:     none (run with REPRO_TRACE=<store>/trace.jsonl "
+            "or pass --trace)"
+        )
+        return 0
+    spans = _read_spans(trace_path)
+    print(f"trace:     {trace_path} ({len(spans)} spans)")
+    by_name: dict[str, list[int]] = {}
+    for record in spans:
+        try:
+            dur = int(record["dur_ns"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        by_name.setdefault(str(record["span"]), []).append(dur)
+    total_ns = sum(sum(durs) for durs in by_name.values())
+    # layers sort by where the time went, heaviest first; ties by name
+    # keep the report deterministic
+    for name in sorted(
+        by_name, key=lambda k: (-sum(by_name[k]), k)
+    ):
+        durs = by_name[name]
+        spent = sum(durs)
+        share = 100.0 * spent / total_ns if total_ns else 0.0
+        print(
+            f"  {name}: {spent / 1e9:.3f}s over {len(durs)} spans "
+            f"({spent / len(durs) / 1e6:.3f}ms mean, {share:.0f}%)"
+        )
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -239,6 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
     status = sub.add_parser("status", help="summarise a campaign store")
     status.add_argument("store", help="campaign store directory")
     status.set_defaults(fn=_cmd_status)
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-kind / per-layer time breakdown from recorded trial "
+        "elapsed and (if present) a REPRO_TRACE span sink",
+    )
+    profile.add_argument("store", help="campaign store directory")
+    profile.add_argument(
+        "--trace", default=None,
+        help="trace JSONL sink (default: <store>/trace.jsonl if present)",
+    )
+    profile.set_defaults(fn=_cmd_profile)
 
     merge = sub.add_parser(
         "merge", help="fold per-host result shards into results.jsonl"

@@ -49,8 +49,19 @@ from repro.campaigns.leases import LeaseManager, chunk_id
 from repro.campaigns.runners import execute_trial
 from repro.campaigns.spec import CampaignSpec, Trial
 from repro.campaigns.store import CampaignStore
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 
 __all__ = ["RunStats", "TrialOutcome", "claim_chunk_size", "run_campaign"]
+
+_TRIALS_OK = _obs.counter(
+    "repro_campaign_trials_total", "finished trials by status",
+    {"status": "ok"},
+)
+_TRIALS_ERROR = _obs.counter(
+    "repro_campaign_trials_total", "finished trials by status",
+    {"status": "error"},
+)
 
 
 @dataclass(frozen=True)
@@ -93,12 +104,15 @@ ProgressFn = Callable[[TrialOutcome, "RunStats"], None]
 
 def _run_trial(trial: Trial, base_seed: int) -> TrialOutcome:
     started = time.perf_counter()
-    try:
-        result = execute_trial(trial.kind, trial.params, base_seed)
-        status, error = "ok", None
-    except Exception:
-        result, status = None, "error"
-        error = traceback.format_exc(limit=20)
+    with _trace.span("campaign.trial", key=trial.key, kind=trial.kind) as sp:
+        try:
+            result = execute_trial(trial.kind, trial.params, base_seed)
+            status, error = "ok", None
+        except Exception:
+            result, status = None, "error"
+            error = traceback.format_exc(limit=20)
+        sp.set(status=status)
+    (_TRIALS_OK if status == "ok" else _TRIALS_ERROR).inc()
     return TrialOutcome(
         key=trial.key,
         kind=trial.kind,
@@ -112,7 +126,8 @@ def _run_trial(trial: Trial, base_seed: int) -> TrialOutcome:
 
 def _run_chunk(trials: Sequence[Trial], base_seed: int) -> list[TrialOutcome]:
     """Worker entry point: run one chunk, every trial individually guarded."""
-    return [_run_trial(trial, base_seed) for trial in trials]
+    with _trace.span("campaign.chunk", trials=len(trials)):
+        return [_run_trial(trial, base_seed) for trial in trials]
 
 
 def _chunked(trials: Sequence[Trial], size: int) -> list[list[Trial]]:
@@ -328,28 +343,31 @@ def _run_claiming(
                 stats.remaining += len(todo) - executed_budget
                 todo = todo[:executed_budget]
             try:
-                if pool is None:
-                    for trial in todo:
-                        land(_run_trial(trial, spec.seed), name)
-                else:
-                    futures = {
-                        pool.submit(_run_trial, trial, spec.seed): trial
-                        for trial in todo
-                    }
-                    outstanding = set(futures)
-                    while outstanding:
-                        done, outstanding = wait(
-                            outstanding, return_when=FIRST_COMPLETED
-                        )
-                        for future in done:
-                            try:
-                                outcome = future.result()
-                            except Exception:
-                                stats.fallbacks += 1
-                                outcome = _run_trial(
-                                    futures[future], spec.seed
-                                )
-                            land(outcome, name)
+                with _trace.span(
+                    "campaign.chunk", chunk=name, trials=len(todo)
+                ):
+                    if pool is None:
+                        for trial in todo:
+                            land(_run_trial(trial, spec.seed), name)
+                    else:
+                        futures = {
+                            pool.submit(_run_trial, trial, spec.seed): trial
+                            for trial in todo
+                        }
+                        outstanding = set(futures)
+                        while outstanding:
+                            done, outstanding = wait(
+                                outstanding, return_when=FIRST_COMPLETED
+                            )
+                            for future in done:
+                                try:
+                                    outcome = future.result()
+                                except Exception:
+                                    stats.fallbacks += 1
+                                    outcome = _run_trial(
+                                        futures[future], spec.seed
+                                    )
+                                land(outcome, name)
                 if executed_budget is not None:
                     executed_budget -= len(todo)
                 # retire the chunk only when every trial (ours or a

@@ -47,9 +47,32 @@ from hashlib import blake2b
 from pathlib import Path
 from typing import Sequence
 
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+
 __all__ = ["Lease", "LeaseManager", "chunk_id"]
 
 _CLAIMS_DIR = "claims"
+
+#: Protocol meters (process-wide; per-manager counts live on the
+#: instance).  ``break``/``reclaim`` firing on a healthy campaign means
+#: the TTL sits below the slowest trial — the first thing ``status``
+#: checks when a multi-host run goes slower than expected.
+_ACQUIRED = _obs.counter(
+    "repro_lease_acquired_total", "chunk leases acquired"
+)
+_BROKEN = _obs.counter(
+    "repro_lease_broken_total", "stale leases broken (dead-host reclaims)"
+)
+_REFRESHED = _obs.counter(
+    "repro_lease_refreshed_total", "lease heartbeats written"
+)
+_RELEASED = _obs.counter(
+    "repro_lease_released_total", "leases released"
+)
+_DONE = _obs.counter(
+    "repro_lease_done_total", "chunks retired with a done marker"
+)
 
 
 def chunk_id(trial_keys: Sequence[str]) -> str:
@@ -178,6 +201,12 @@ class LeaseManager:
 
     def claim(self, chunk: str) -> bool:
         """Try to acquire ``chunk``; True iff this host now holds it."""
+        with _trace.span("campaign.lease.claim", chunk=chunk) as sp:
+            held = self._claim(chunk)
+            sp.set(held=held)
+            return held
+
+    def _claim(self, chunk: str) -> bool:
         if self.is_done(chunk):
             return False
         lease = self.read(chunk)
@@ -196,6 +225,7 @@ class LeaseManager:
                 pass
             else:
                 self.reclaimed += 1
+                _BROKEN.inc()
                 broken.unlink(missing_ok=True)
         tmp = self._write_body(chunk, acquired=0.0)
         try:
@@ -205,6 +235,7 @@ class LeaseManager:
         finally:
             tmp.unlink(missing_ok=True)
         self.held.add(chunk)
+        _ACQUIRED.inc()
         return True
 
     def refresh(self, chunk: str) -> None:
@@ -227,6 +258,7 @@ class LeaseManager:
         acquired = lease.acquired
         tmp = self._write_body(chunk, acquired=acquired)
         os.rename(tmp, self._lease_path(chunk))
+        _REFRESHED.inc()
 
     def release(self, chunk: str, done: bool = False) -> None:
         """Drop a held lease; ``done=True`` also retires the chunk."""
@@ -236,10 +268,12 @@ class LeaseManager:
                 json.dumps({"host": self.host_id, "at": self._clock()})
             )
             os.rename(tmp, self._done_path(chunk))
+            _DONE.inc()
         lease = self.read(chunk)
         if lease is not None and lease.host == self.host_id:
             self._lease_path(chunk).unlink(missing_ok=True)
         self.held.discard(chunk)
+        _RELEASED.inc()
 
     def release_all(self) -> None:
         for chunk in list(self.held):

@@ -89,6 +89,9 @@ class CampaignStore:
         self._errors: dict[str, TrialRecord] = {}
         self.corrupt_lines = 0
         self.file_corrupt_lines: dict[str, int] = {}
+        #: file name -> decoded records scanned (shard-progress breakdown
+        #: for ``python -m repro.campaigns status`` in claim mode)
+        self.file_record_counts: dict[str, int] = {}
         self._handle: IO[str] | None = None
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -131,6 +134,7 @@ class CampaignStore:
 
     def _scan_file(self, path: Path) -> None:
         corrupt = 0
+        decoded = 0
         with path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -145,6 +149,7 @@ class CampaignStore:
                     # belonged to simply re-runs on resume
                     corrupt += 1
                     continue
+                decoded += 1
                 if status == "ok":
                     existing = self._ok.get(key)
                     if existing is None:
@@ -160,6 +165,9 @@ class CampaignStore:
                     # identical re-run from another shard: idempotent
                 else:
                     self._errors.setdefault(key, record)
+        self.file_record_counts[path.name] = (
+            self.file_record_counts.get(path.name, 0) + decoded
+        )
         if corrupt:
             self.file_corrupt_lines[path.name] = (
                 self.file_corrupt_lines.get(path.name, 0) + corrupt
@@ -179,6 +187,7 @@ class CampaignStore:
         self._errors.clear()
         self.corrupt_lines = 0
         self.file_corrupt_lines = {}
+        self.file_record_counts = {}
         self._scan()
 
     def completed_keys(self) -> frozenset:
@@ -338,6 +347,7 @@ def merge_shards(root: str | Path, prune: bool = False) -> MergeStats:
         canonical._errors.clear()
         canonical.corrupt_lines = 0
         canonical.file_corrupt_lines = {}
+        canonical.file_record_counts = {}
         if canonical.results_path.exists():
             canonical._scan_file(canonical.results_path)
 

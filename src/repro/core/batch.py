@@ -51,6 +51,7 @@ import numpy as np
 
 from repro._backend import active as _active_backend
 from repro.core.moves import AddEdge, Move, RemoveEdge, Swap
+from repro.obs import metrics as _obs
 
 __all__ = [
     "ENABLED",
@@ -293,6 +294,27 @@ _RUN_SWEEPS = {
     Swap: _sweep_swap_run,
 }
 
+#: Dispatch-arm meters: how many same-type runs each batch kernel priced
+#: and how many compound candidates fell back to per-move speculation.
+_DISPATCH = {
+    AddEdge: _obs.counter(
+        "repro_batch_dispatch_total", "batched sweep runs by kernel arm",
+        {"arm": "add"},
+    ),
+    RemoveEdge: _obs.counter(
+        "repro_batch_dispatch_total", "batched sweep runs by kernel arm",
+        {"arm": "remove"},
+    ),
+    Swap: _obs.counter(
+        "repro_batch_dispatch_total", "batched sweep runs by kernel arm",
+        {"arm": "swap"},
+    ),
+}
+_DISPATCH_FALLBACK = _obs.counter(
+    "repro_batch_dispatch_total", "batched sweep runs by kernel arm",
+    {"arm": "fallback"},
+)
+
 
 def sweep_best(spec, moves: Iterable[Move]):
     """Batched drop-in for the sequential ``SpeculativeEvaluator.best``.
@@ -315,6 +337,7 @@ def sweep_best(spec, moves: Iterable[Move]):
         sweep = _RUN_SWEEPS.get(kind)
         if sweep is None:
             move = pool[i]
+            _DISPATCH_FALLBACK.inc()
             evaluation = spec.evaluate(move)
             if best_total is None or evaluation.total_delta < best_total:
                 best_move = move
@@ -326,6 +349,7 @@ def sweep_best(spec, moves: Iterable[Move]):
         while j < size and type(pool[j]) is kind:
             j += 1
         run = pool[i:j]
+        _DISPATCH[kind].inc()
         index, total, make_eval = sweep(spec, run)
         spec.note_evaluations(len(run))
         if best_total is None or total < best_total:

@@ -83,6 +83,8 @@ import numpy as np
 from repro.core.moves import AddEdge, Move, RemoveEdge, Swap
 from repro.core.state import GameState
 from repro.graphs.distances import weighted_added_edge_dist_gain
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 
 __all__ = [
     "Fold",
@@ -93,12 +95,22 @@ __all__ = [
 
 #: Number of candidate-move evaluations since import — a test spy used to
 #: assert budget accounting is unchanged across searcher refactors.
-EVALUATIONS = 0
+#: Registry-backed; ``speculative.EVALUATIONS`` stays a read-only alias
+#: via module ``__getattr__``.
+_EVALUATIONS = _obs.counter(
+    "repro_engine_evaluations_total", "speculative candidate evaluations"
+)
+
+
+def __getattr__(name: str) -> int:
+    if name == "EVALUATIONS":
+        return _EVALUATIONS.value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def evaluation_count() -> int:
     """How many candidate moves have been speculatively evaluated."""
-    return EVALUATIONS
+    return _EVALUATIONS.value
 
 
 @dataclass(frozen=True)
@@ -327,8 +339,7 @@ class SpeculativeEvaluator:
         per candidate; :meth:`move_improves` / :meth:`evaluate` call it
         automatically.
         """
-        global EVALUATIONS
-        EVALUATIONS += 1
+        _EVALUATIONS.inc()
         self.evaluations += 1
 
     def note_evaluations(self, count: int) -> None:
@@ -339,8 +350,7 @@ class SpeculativeEvaluator:
         keeps the module/instance spies bit-identical to the sequential
         per-candidate loop.
         """
-        global EVALUATIONS
-        EVALUATIONS += count
+        _EVALUATIONS.inc(count)
         self.evaluations += count
 
     def move_improves(
@@ -454,8 +464,10 @@ class SpeculativeEvaluator:
         from repro.core import batch
 
         if not self._stack and batch.ENABLED:
-            return batch.sweep_best(self, moves)
-        return self._best_sequential(moves)
+            with _trace.span("engine.sweep", arm="batched"):
+                return batch.sweep_best(self, moves)
+        with _trace.span("engine.sweep", arm="sequential"):
+            return self._best_sequential(moves)
 
     def _best_sequential(
         self, moves: Iterable[Move]

@@ -33,6 +33,7 @@ from repro.core.moves import CoalitionMove, normalize_edge
 from repro.core.speculative import SpeculativeEvaluator
 from repro.core.state import GameState
 from repro.equilibria.neighborhood import SearchBudgetExceeded
+from repro.obs import metrics as _obs
 
 __all__ = [
     "dfs_path_counts",
@@ -47,13 +48,33 @@ __all__ = [
 #: Tests assert the forest gate is never the reason a fold split is
 #: refused — any coalition whose removable edges are all bridges takes
 #: the fold path, cyclic host graph or not.
-FOLD_DFS_RUNS = 0
-ENGINE_DFS_RUNS = 0
+_FOLD_DFS_RUNS = _obs.counter(
+    "repro_strong_fold_dfs_runs_total",
+    "coalition subspaces searched by the query-based fold DFS",
+)
+_ENGINE_DFS_RUNS = _obs.counter(
+    "repro_strong_engine_dfs_runs_total",
+    "coalition subspaces searched by the token-based engine DFS",
+)
+
+_SPY_ALIASES = {
+    "FOLD_DFS_RUNS": _FOLD_DFS_RUNS,
+    "ENGINE_DFS_RUNS": _ENGINE_DFS_RUNS,
+}
+
+
+def __getattr__(name: str) -> int:
+    counter = _SPY_ALIASES.get(name)
+    if counter is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    return counter.value
 
 
 def dfs_path_counts() -> tuple[int, int]:
     """``(fold_runs, engine_runs)`` of the coalition DFS since import."""
-    return FOLD_DFS_RUNS, ENGINE_DFS_RUNS
+    return _FOLD_DFS_RUNS.value, _ENGINE_DFS_RUNS.value
 
 
 def _coalition_edge_space(
@@ -281,13 +302,12 @@ def _dfs_coalition_space(
     # splits touch only removable edges, and additions extend restricted
     # fold copies without feeding back into the removal fold).  Gate on
     # the edges themselves, not on the global forest property.
-    global FOLD_DFS_RUNS, ENGINE_DFS_RUNS
     if spec.engine.is_forest or all(
         spec.is_bridge(u, v) for u, v in removable
     ):
-        FOLD_DFS_RUNS += 1
+        _FOLD_DFS_RUNS.inc()
         return descend_removes_fold(spec.fold(sorted(touched)), 0)
-    ENGINE_DFS_RUNS += 1
+    _ENGINE_DFS_RUNS.inc()
     return descend_removes_engine(0)
 
 

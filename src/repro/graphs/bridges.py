@@ -52,6 +52,8 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.obs import metrics as _obs
+
 __all__ = [
     "BridgeDelta",
     "BridgeSet",
@@ -62,12 +64,34 @@ __all__ = [
 
 #: Number of full chain-decomposition builds since import — a test spy:
 #: exactly one per engine materialisation, zero along move trajectories.
-BRIDGE_REBUILDS = 0
+#: Registry-backed (thread-safe); ``bridges.BRIDGE_REBUILDS`` stays a
+#: read-only alias via module ``__getattr__``.
+_BRIDGE_REBUILDS = _obs.counter(
+    "repro_engine_bridge_rebuilds_total",
+    "full chain-decomposition bridge-set builds",
+)
 
-#: Number of component-local chain-decomposition sweeps (non-bridge
-#: removals only) since import — observability for the one update that
-#: is not O(affected); additions, bridge removals and undos never sweep.
-BRIDGE_SWEEPS = 0
+#: Component-local chain-decomposition sweeps (non-bridge removals only)
+#: — observability for the one update that is not O(affected);
+#: additions, bridge removals and undos never sweep.
+_BRIDGE_SWEEPS = _obs.counter(
+    "repro_engine_bridge_sweeps_total",
+    "component-local bridge sweeps after non-bridge removals",
+)
+
+_SPY_ALIASES = {
+    "BRIDGE_REBUILDS": _BRIDGE_REBUILDS,
+    "BRIDGE_SWEEPS": _BRIDGE_SWEEPS,
+}
+
+
+def __getattr__(name: str) -> int:
+    counter = _SPY_ALIASES.get(name)
+    if counter is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    return counter.value
 
 #: ``(added, removed)`` bridge-set delta of one engine mutation, stored
 #: in the engine's undo token and reversed by :meth:`BridgeSet.revert`.
@@ -78,12 +102,12 @@ _NO_CHANGE: BridgeDelta = ((), ())
 
 def bridge_rebuild_count() -> int:
     """How many full chain-decomposition builds have run since import."""
-    return BRIDGE_REBUILDS
+    return _BRIDGE_REBUILDS.value
 
 
 def bridge_sweep_count() -> int:
     """How many component-local bridge sweeps have run since import."""
-    return BRIDGE_SWEEPS
+    return _BRIDGE_SWEEPS.value
 
 
 def _edge(u: int, v: int) -> tuple[int, int]:
@@ -160,8 +184,7 @@ class BridgeSet:
     __slots__ = ("_edges", "_first", "_second", "_pos", "_len", "_version")
 
     def __init__(self, adj, nodes: Iterable[int]):
-        global BRIDGE_REBUILDS
-        BRIDGE_REBUILDS += 1
+        _BRIDGE_REBUILDS.inc()
         self._edges: set[tuple[int, int]] = component_bridges(adj, nodes)
         # incremental endpoint-array cache (see _endpoint_arrays):
         # materialised lazily, then maintained through every delta
@@ -296,8 +319,7 @@ class BridgeSet:
             self._edges.discard(edge)
             self._arrays_discard(edge)
             return ((), (edge,))
-        global BRIDGE_SWEEPS
-        BRIDGE_SWEEPS += 1
+        _BRIDGE_SWEEPS.inc()
         found = component_bridges(adj, (u,))
         fresh = tuple(sorted(found - self._edges))
         if not fresh:

@@ -49,6 +49,8 @@ from typing import Iterator, Sequence
 import networkx as nx
 import numpy as np
 
+from repro.obs import metrics as _obs
+
 __all__ = [
     "canonical_cache_clear",
     "canonical_cache_info",
@@ -66,20 +68,23 @@ _MAX_KEY_NODES = 255  # one header byte; the sweeps live at n <= 10
 
 _CACHE: dict = {}
 _CACHE_MAX = 1 << 16
-_HITS = 0
-_MISSES = 0
+_HITS = _obs.counter(
+    "repro_canonical_cache_hits_total", "canonical-key memo hits"
+)
+_MISSES = _obs.counter(
+    "repro_canonical_cache_misses_total", "canonical-key memo misses"
+)
 
 
 def canonical_cache_info() -> tuple[int, int, int]:
     """``(hits, misses, size)`` of the canonical-key memo."""
-    return _HITS, _MISSES, len(_CACHE)
+    return _HITS.value, _MISSES.value, len(_CACHE)
 
 
 def canonical_cache_clear() -> None:
-    global _HITS, _MISSES
     _CACHE.clear()
-    _HITS = 0
-    _MISSES = 0
+    _HITS.reset()
+    _MISSES.reset()
 
 
 # -- adjacency bitmasks ------------------------------------------------------
@@ -279,7 +284,6 @@ def canonical_key(graph: nx.Graph, traffic=None) -> bytes:
     return equal keys **iff** the (graph, demands) structures are
     isomorphic under a common relabelling.
     """
-    global _HITS, _MISSES
     n = graph.number_of_nodes()
     adj = masks_of_graph(graph)
     weights = None
@@ -293,9 +297,9 @@ def canonical_key(graph: nx.Graph, traffic=None) -> bytes:
     memo = (n, tuple(adj), weights)
     cached = _CACHE.get(memo)
     if cached is not None:
-        _HITS += 1
+        _HITS.inc()
         return cached
-    _MISSES += 1
+    _MISSES.inc()
     key = key_of_masks(n, adj, weights)
     if len(_CACHE) >= _CACHE_MAX:
         _CACHE.clear()

@@ -117,6 +117,8 @@ from repro import _backend
 from repro._alpha import fits_int64
 from repro._backend import exact_int_fill as _exact_int_fill
 from repro.graphs.bridges import BridgeSet
+from repro.obs import metrics as obs
+from repro.obs import trace as _trace
 
 __all__ = [
     "DistanceMatrix",
@@ -140,57 +142,94 @@ __all__ = [
 ]
 
 #: Number of full APSP builds since import — a test/benchmark spy used to
-#: assert that a dynamics trajectory pays for exactly one build.
-APSP_BUILDS = 0
+#: assert that a dynamics trajectory pays for exactly one build.  Lives in
+#: the :mod:`repro.obs` registry (thread-safe increments — engine builds
+#: race under the serve thread pool); ``distances.APSP_BUILDS`` remains a
+#: read-only alias via module ``__getattr__``, as do the other spies.
+_APSP_BUILDS = obs.counter(
+    "repro_engine_apsp_builds_total", "full APSP matrix builds"
+)
 
-#: Number of full O(n^2) row-sum rebuilds of the per-row totals since import
-#: — a spy used to assert that totals are maintained incrementally along
-#: move trajectories (one rebuild at materialisation, then zero).
-TOTALS_REBUILDS = 0
+#: Full O(n^2) row-sum rebuilds of the per-row totals — a spy used to
+#: assert that totals are maintained incrementally along move
+#: trajectories (one rebuild at materialisation, then zero).
+_TOTALS_REBUILDS = obs.counter(
+    "repro_engine_totals_rebuilds_total", "full totals row-sum rebuilds"
+)
 
-#: Number of full O(n^2) weighted row-sum rebuilds of the per-row weighted
-#: totals since import — the traffic-model counterpart of
-#: :data:`TOTALS_REBUILDS`: one rebuild at first ``wtotals()`` query per
-#: engine, zero along move trajectories.
-WTOTALS_REBUILDS = 0
+#: Full O(n^2) weighted row-sum rebuilds — the traffic-model counterpart:
+#: one rebuild at first ``wtotals()`` query per engine, zero along move
+#: trajectories.
+_WTOTALS_REBUILDS = obs.counter(
+    "repro_engine_wtotals_rebuilds_total",
+    "full weighted-totals row-sum rebuilds",
+)
 
-#: Number of full O(n^2) model-value passes rebuilding the per-row cost
-#: aggregates since import — the cost-model counterpart of
-#: :data:`TOTALS_REBUILDS` / :data:`WTOTALS_REBUILDS`: one rebuild at first
-#: ``ftotals()`` query per engine, zero along move trajectories (max-row
-#: rescans triggered by a drained count are incremental maintenance and do
-#: not count).
-FTOTALS_REBUILDS = 0
+#: Full O(n^2) model-value passes rebuilding the per-row cost aggregates —
+#: the cost-model counterpart: one rebuild at first ``ftotals()`` query per
+#: engine, zero along move trajectories (max-row rescans triggered by a
+#: drained count are incremental maintenance and do not count).
+_FTOTALS_REBUILDS = obs.counter(
+    "repro_engine_ftotals_rebuilds_total", "full model-aggregate rebuilds"
+)
 
-#: Number of ``apply_remove`` calls that entered the BFS-repair path since
-#: import — a spy used to assert that bridge removals (forests included)
-#: always take the search-free split path instead.
-REMOVE_BFS_REPAIRS = 0
+#: ``apply_remove`` calls that entered the BFS-repair path — a spy used to
+#: assert that bridge removals (forests included) always take the
+#: search-free split path instead.
+_REMOVE_BFS_REPAIRS = obs.counter(
+    "repro_engine_remove_bfs_repairs_total",
+    "apply_remove calls that entered the BFS-repair path",
+)
+
+#: Matrix rows actually recomputed by BFS repair — the volume companion of
+#: the call counter above: how much repair work non-bridge removals cost.
+_BFS_REPAIR_ROWS = obs.counter(
+    "repro_engine_bfs_repair_rows_total",
+    "distance-matrix rows recomputed by the BFS-repair path",
+)
+
+#: legacy module-global spy name -> registry counter (read-only aliases)
+_SPY_ALIASES = {
+    "APSP_BUILDS": _APSP_BUILDS,
+    "TOTALS_REBUILDS": _TOTALS_REBUILDS,
+    "WTOTALS_REBUILDS": _WTOTALS_REBUILDS,
+    "FTOTALS_REBUILDS": _FTOTALS_REBUILDS,
+    "REMOVE_BFS_REPAIRS": _REMOVE_BFS_REPAIRS,
+}
+
+
+def __getattr__(name: str) -> int:
+    counter = _SPY_ALIASES.get(name)
+    if counter is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    return counter.value
 
 
 def apsp_build_count() -> int:
     """How many full APSP matrices have been built since import."""
-    return APSP_BUILDS
+    return _APSP_BUILDS.value
 
 
 def totals_rebuild_count() -> int:
     """How many full totals re-sums have been performed since import."""
-    return TOTALS_REBUILDS
+    return _TOTALS_REBUILDS.value
 
 
 def wtotals_rebuild_count() -> int:
     """How many full weighted-totals re-sums have been performed."""
-    return WTOTALS_REBUILDS
+    return _WTOTALS_REBUILDS.value
 
 
 def ftotals_rebuild_count() -> int:
     """How many full model-aggregate rebuilds have been performed."""
-    return FTOTALS_REBUILDS
+    return _FTOTALS_REBUILDS.value
 
 
 def remove_bfs_repair_count() -> int:
     """How many removals have entered the BFS-repair path since import."""
-    return REMOVE_BFS_REPAIRS
+    return _REMOVE_BFS_REPAIRS.value
 
 
 def _require_canonical(graph: nx.Graph) -> int:
@@ -250,15 +289,17 @@ def apsp_matrix(graph: nx.Graph, unreachable: int) -> np.ndarray:
     Runs one BFS per node in C via scipy; ``O(n * m)`` total.  Increments
     the module's :data:`APSP_BUILDS` spy counter.
     """
-    global APSP_BUILDS
-    APSP_BUILDS += 1
+    _APSP_BUILDS.inc()
     n = _require_canonical(graph)
-    if graph.number_of_edges() == 0:
-        dist = np.full((n, n), unreachable, dtype=np.int64)
-        np.fill_diagonal(dist, 0)
-        return dist
-    raw = shortest_path(adjacency_csr(graph), method="D", unweighted=True)
-    return _exact_int_fill(raw, unreachable)
+    with _trace.span("engine.apsp_build", n=n, m=graph.number_of_edges()):
+        if graph.number_of_edges() == 0:
+            dist = np.full((n, n), unreachable, dtype=np.int64)
+            np.fill_diagonal(dist, 0)
+            return dist
+        raw = shortest_path(
+            adjacency_csr(graph), method="D", unweighted=True
+        )
+        return _exact_int_fill(raw, unreachable)
 
 
 def _rows_from_csr(
@@ -511,9 +552,8 @@ class DistanceMatrix:
         return self._totals_live().copy()
 
     def _totals_live(self) -> np.ndarray:
-        global TOTALS_REBUILDS
         if self._totals is None:
-            TOTALS_REBUILDS += 1
+            _TOTALS_REBUILDS.inc()
             self._totals = self.matrix.sum(axis=1)
         return self._totals
 
@@ -560,13 +600,12 @@ class DistanceMatrix:
         return self._wtotals_live().copy()
 
     def _wtotals_live(self) -> np.ndarray:
-        global WTOTALS_REBUILDS
         if self._weights is None:
             raise RuntimeError(
                 "no traffic matrix bound; call bind_traffic() first"
             )
         if self._wtotals is None:
-            WTOTALS_REBUILDS += 1
+            _WTOTALS_REBUILDS.inc()
             self._wtotals = (self.matrix * self._weights).sum(axis=1)
         return self._wtotals
 
@@ -631,13 +670,12 @@ class DistanceMatrix:
         return values
 
     def _ftotals_live(self) -> np.ndarray:
-        global FTOTALS_REBUILDS
         if self._fbind is None:
             raise RuntimeError(
                 "no cost model bound; call bind_cost_model() first"
             )
         if self._ftotals is None:
-            FTOTALS_REBUILDS += 1
+            _FTOTALS_REBUILDS.inc()
             values = self._fvalues(self.matrix)
             if self._fbind.aggregate == "max":
                 self._ftotals = values.max(axis=1)
@@ -996,8 +1034,7 @@ class DistanceMatrix:
             return self._finish(
                 patches, (("add", u, v),), csr_before, (bridge_delta,)
             )
-        global REMOVE_BFS_REPAIRS
-        REMOVE_BFS_REPAIRS += 1
+        _REMOVE_BFS_REPAIRS.inc()
         if self.n <= _SMALL_N:
             self._graph.remove_edge(u, v)
             self._csr = None
@@ -1018,6 +1055,7 @@ class DistanceMatrix:
         affected = np.flatnonzero(
             (probes[0] != matrix[u]) | (probes[1] != matrix[v])
         )
+        _BFS_REPAIR_ROWS.inc(int(affected.size))
         patches = ()
         if affected.size:
             patches = (

@@ -1,0 +1,191 @@
+"""Trace spans: ``with span("engine.apsp_build", n=16): ...`` -> JSONL.
+
+Disabled by default and *near-free* when disabled: :func:`span` checks
+one module-level flag and returns a shared stateless no-op context
+manager — no allocation, no clock read, no I/O.  Enabled by pointing
+``REPRO_TRACE`` at a sink path before the process starts (read once at
+import) or by calling :func:`enable_trace` programmatically (tests, the
+benchmark's enabled arm).
+
+One emitted record per *closed* span::
+
+    {"span": "campaign.trial", "pid": 1234, "tid": 5678,
+     "ts": 1699999999.123, "dur_ns": 48211375, "kind": "exact_poa", ...}
+
+``dur_ns`` comes from ``time.monotonic_ns`` (immune to wall-clock
+steps); ``ts`` is the wall-clock *end* time, recorded purely so humans
+and the ``profile`` report can order spans across processes.  Records
+are written as single ``os.write`` calls on an ``O_APPEND`` descriptor,
+so campaign worker processes and serve threads can share one sink file
+— lines interleave but do not interleave *within* a line for sane line
+lengths.  Readers (``python -m repro.campaigns profile``) tolerate the
+occasional torn line the same way the campaign store does.
+
+Determinism contract, inherited from the engine lockdown style: tracing
+writes **only** to the sink.  No span result, timestamp or sequence
+number ever reaches result records, content-addressed keys, campaign
+reports or serve response bodies — ``tests/test_obs.py`` asserts
+byte-identity of all of those with tracing on vs off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "disable_trace",
+    "enable_trace",
+    "span",
+    "trace_enabled",
+    "trace_path",
+]
+
+_ENV_VAR = "REPRO_TRACE"
+
+_ENABLED = False
+_PATH: str | None = None
+_FD: int | None = None
+_LOCK = threading.Lock()
+
+#: spans actually written to the sink (0 while tracing is off)
+_SPANS_EMITTED = _metrics.counter(
+    "repro_trace_spans_total", "trace spans emitted to the REPRO_TRACE sink"
+)
+#: undecodable/unwritable span emissions dropped instead of raised
+_SPANS_DROPPED = _metrics.counter(
+    "repro_trace_spans_dropped_total",
+    "trace spans dropped because the sink write failed",
+)
+
+
+class _NullSpan:
+    """The disabled path: a stateless, shared, reentrant no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL = _NullSpan()
+
+
+class Span:
+    """One live span; emits itself on ``__exit__``."""
+
+    __slots__ = ("name", "attrs", "_t0")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (status, counts…)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.monotonic_ns()
+        return self
+
+    def __exit__(self, exc_type, *exc_info: Any) -> bool:
+        dur_ns = time.monotonic_ns() - self._t0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        _emit(self.name, dur_ns, self.attrs)
+        return False
+
+
+def span(name: str, **attrs: Any) -> Span | _NullSpan:
+    """A context manager timing one named operation.
+
+    With tracing disabled this is one flag check and a shared no-op —
+    call sites never need their own guards.
+    """
+    if not _ENABLED:
+        return _NULL
+    return Span(name, attrs)
+
+
+def trace_enabled() -> bool:
+    return _ENABLED
+
+
+def trace_path() -> str | None:
+    return _PATH
+
+
+def enable_trace(path: str | os.PathLike) -> None:
+    """Start emitting spans to ``path`` (append; created if missing)."""
+    global _ENABLED, _PATH, _FD
+    with _LOCK:
+        if _FD is not None:
+            os.close(_FD)
+            _FD = None
+        _PATH = os.fspath(path)
+        _ENABLED = True
+
+
+def disable_trace() -> None:
+    """Stop emitting spans and close the sink."""
+    global _ENABLED, _FD
+    with _LOCK:
+        _ENABLED = False
+        if _FD is not None:
+            os.close(_FD)
+            _FD = None
+
+
+def _emit(name: str, dur_ns: int, attrs: dict[str, Any]) -> None:
+    record: dict[str, Any] = {
+        "span": name,
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "ts": time.time(),
+        "dur_ns": dur_ns,
+    }
+    for key, value in attrs.items():
+        record.setdefault(key, value)
+    try:
+        # default=str keeps exotic attr values (Fraction alphas, paths)
+        # from killing the traced operation
+        line = json.dumps(
+            record, sort_keys=True, separators=(",", ":"), default=str
+        ).encode() + b"\n"
+    except (TypeError, ValueError):
+        _SPANS_DROPPED.inc()
+        return
+    global _FD
+    with _LOCK:
+        if not _ENABLED or _PATH is None:
+            return
+        try:
+            if _FD is None:
+                _FD = os.open(
+                    _PATH, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+            os.write(_FD, line)  # one write = one (uninterleaved) line
+        except OSError:
+            _SPANS_DROPPED.inc()
+            return
+    _SPANS_EMITTED.inc()
+
+
+# One env read at import: campaign CLI runs and serve processes (and the
+# ProcessPoolExecutor workers they fork/spawn, which re-import) inherit
+# REPRO_TRACE from their environment and start emitting immediately.
+_env_path = os.environ.get(_ENV_VAR)
+if _env_path:
+    enable_trace(_env_path)
+del _env_path

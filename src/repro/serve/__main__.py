@@ -9,6 +9,10 @@
 ``poa`` endpoint; repeat it per store.  ``--cache-bytes 0`` disables the
 warm-engine registry (every request builds cold — the benchmark's
 baseline arm).  SIGTERM/SIGINT shut the loop down cleanly.
+
+Observability: ``GET /metricsz`` exposes the :mod:`repro.obs` registries
+in Prometheus text format; setting ``REPRO_TRACE=<path>`` before start
+streams trace spans (one JSON line per request / engine build) there.
 """
 
 from __future__ import annotations

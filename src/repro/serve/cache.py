@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.state import GameState
+from repro.obs import metrics as _obs
 
 __all__ = [
     "ENGINE_BUILDS",
@@ -40,18 +41,40 @@ __all__ = [
     "estimate_engine_bytes",
 ]
 
-#: process-wide count of cold engine materialisations (spy counter)
-ENGINE_BUILDS = 0
+#: process-wide count of cold engine materialisations.  Registry-backed
+#: (requests from different serve threads build concurrently, and the
+#: per-entry RLock never protected this count); ``cache.ENGINE_BUILDS``
+#: stays a read-only alias via module ``__getattr__``.
+_ENGINE_BUILDS = _obs.counter(
+    "repro_serve_engine_builds_total", "cold engine materialisations"
+)
+
+#: process-wide LRU traffic (per-instance counts live on the cache)
+_CACHE_HITS = _obs.counter(
+    "repro_serve_engine_cache_hits_total", "warm engine-cache lookups"
+)
+_CACHE_MISSES = _obs.counter(
+    "repro_serve_engine_cache_misses_total", "cold engine-cache lookups"
+)
+_CACHE_EVICTIONS = _obs.counter(
+    "repro_serve_engine_cache_evictions_total",
+    "engines evicted past the byte budget",
+)
+
+
+def __getattr__(name: str) -> int:
+    if name == "ENGINE_BUILDS":
+        return _ENGINE_BUILDS.value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def note_engine_build() -> None:
-    global ENGINE_BUILDS
-    ENGINE_BUILDS += 1
+    _ENGINE_BUILDS.inc()
 
 
 def engine_cache_info() -> dict[str, int]:
     """The module-level spy counters (process-wide)."""
-    return {"engine_builds": ENGINE_BUILDS}
+    return {"engine_builds": _ENGINE_BUILDS.value}
 
 
 def estimate_engine_bytes(state: GameState) -> int:
@@ -105,10 +128,12 @@ class EngineCache:
         entry = self._entries.get(digest)
         if entry is None:
             self.misses += 1
+            _CACHE_MISSES.inc()
             return None
         self._entries.move_to_end(digest)
         entry.hits += 1
         self.hits += 1
+        _CACHE_HITS.inc()
         return entry
 
     def put(self, digest: str, state: GameState) -> CachedEngine:
@@ -131,6 +156,7 @@ class EngineCache:
             _, evicted = self._entries.popitem(last=False)
             self.bytes -= evicted.nbytes
             self.evictions += 1
+            _CACHE_EVICTIONS.inc()
         return entry
 
     def stats(self) -> dict[str, Any]:

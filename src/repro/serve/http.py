@@ -33,10 +33,18 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Error"}
 
 
 def _render(status: int, body: dict[str, Any]) -> bytes:
-    payload = json.dumps(body).encode()
+    # the reserved "_raw_text" key (the /metricsz Prometheus exposition)
+    # ships as text/plain — scrapers do not parse JSON
+    raw = body.get("_raw_text") if isinstance(body, dict) else None
+    if isinstance(raw, str):
+        payload = raw.encode()
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        payload = json.dumps(body).encode()
+        content_type = "application/json"
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(payload)}\r\n"
         f"\r\n"
     ).encode()

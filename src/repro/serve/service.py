@@ -15,10 +15,11 @@ the materialised campaign views, and answers four endpoints:
     Dictionary reads against :class:`~repro.serve.views.MaterialisedViews`
     (campaign stores indexed by trial key, layered ``exact_poa`` cells
     re-aggregated).
-``healthz`` / ``statsz``
-    Liveness and the full counter surface (engine cache hits/misses/
+``healthz`` / ``statsz`` / ``metricsz``
+    Liveness, the full counter surface (engine cache hits/misses/
     evictions, response cache, per-endpoint request counts and p50/p99
-    latency, the process-wide ``ENGINE_BUILDS`` spy).
+    latency, the process-wide ``ENGINE_BUILDS`` spy) and the Prometheus
+    text exposition of the :mod:`repro.obs` registries.
 
 Label discipline: every graph query is mapped onto its canonical
 representative before touching an engine.  The request's labelling
@@ -56,6 +57,8 @@ from repro.core.state import GameState
 from repro.core.traffic import TrafficMatrix, traffic_from_spec
 from repro.dynamics.movegen import improving_moves
 from repro.graphs.canonical import canonical_key, canonical_labelling
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.serve.cache import CachedEngine, EngineCache, engine_cache_info
 from repro.serve import cache as _cache_mod
 from repro.serve.views import MaterialisedViews
@@ -202,12 +205,46 @@ def _move_payload(move: Any, inv: list[int]) -> dict[str, Any]:
 
 
 class _EndpointStats:
-    __slots__ = ("requests", "errors", "latencies")
+    """Per-endpoint meters, backed by the app's metric registry.
 
-    def __init__(self) -> None:
-        self.requests = 0
-        self.errors = 0
+    The registry carries the counts and a log-bucketed latency histogram
+    (rendered by ``/metricsz``); the rolling deque stays for the exact
+    p50/p99 that ``statsz`` has always reported (bucket upper edges
+    would quantise them).
+    """
+
+    __slots__ = ("_requests", "_errors", "latency", "latencies")
+
+    def __init__(self, registry: _obs.MetricRegistry, endpoint: str) -> None:
+        labels = {"endpoint": endpoint}
+        self._requests = registry.counter(
+            "repro_serve_requests_total", "requests by endpoint", labels
+        )
+        self._errors = registry.counter(
+            "repro_serve_errors_total",
+            "4xx/5xx responses by endpoint", labels,
+        )
+        self.latency = registry.histogram(
+            "repro_serve_latency_seconds",
+            "request latency by endpoint", labels,
+        )
         self.latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    def note_request(self) -> None:
+        self._requests.inc()
+
+    def note_result(self, elapsed: float, error: bool) -> None:
+        self.latency.observe(elapsed)
+        if error:
+            self._errors.inc()
 
     def summary(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -242,10 +279,40 @@ class ServeApp:
         # baseline arm recomputes every answer
         self._response_max = 0 if cache_bytes == 0 else _RESPONSE_CACHE_MAX
         self._responses: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
-        self.response_hits = 0
-        self.response_misses = 0
+        # per-app registry: statsz counts start at zero for every app,
+        # unlike the process-wide REGISTRY the engine spies live in;
+        # /metricsz renders both
+        self.registry = _obs.MetricRegistry()
+        self._response_hits = self.registry.counter(
+            "repro_serve_response_cache_hits_total", "response-cache hits"
+        )
+        self._response_misses = self.registry.counter(
+            "repro_serve_response_cache_misses_total",
+            "response-cache misses",
+        )
+        self.registry.gauge(
+            "repro_serve_engines_resident", "warm engines resident",
+            fn=lambda: len(self.engines),
+        )
+        self.registry.gauge(
+            "repro_serve_engine_bytes", "resident engine byte estimate",
+            fn=lambda: self.engines.bytes,
+        )
+        self.registry.gauge(
+            "repro_serve_response_cache_entries",
+            "response-cache entries resident",
+            fn=lambda: len(self._responses),
+        )
         self._endpoints: dict[str, _EndpointStats] = {}
         self.started = time.monotonic()
+
+    @property
+    def response_hits(self) -> int:
+        return self._response_hits.value
+
+    @property
+    def response_misses(self) -> int:
+        return self._response_misses.value
 
     # -- engine plumbing -----------------------------------------------------
 
@@ -266,6 +333,12 @@ class ServeApp:
     def _build_state(self, inst: _Instance) -> GameState:
         """Materialise the canonical engine for one instance (cold path)."""
         _cache_mod.note_engine_build()
+        with _trace.span(
+            "serve.engine_build", digest=inst.digest, n=inst.n
+        ):
+            return self._build_state_inner(inst)
+
+    def _build_state_inner(self, inst: _Instance) -> GameState:
         sigma = canonical_labelling(inst.graph, inst.traffic)
         relabelled = nx.empty_graph(inst.n)
         relabelled.add_edges_from(
@@ -332,10 +405,10 @@ class ServeApp:
             hit = self._responses.get(key)
             if hit is None:
                 if count_miss:
-                    self.response_misses += 1
+                    self._response_misses.inc()
                 return None
             self._responses.move_to_end(key)
-            self.response_hits += 1
+            self._response_hits.inc()
             return dict(hit, cached=True)
 
     def _remember_response(self, *keys: str, body: dict[str, Any]) -> None:
@@ -529,6 +602,18 @@ class ServeApp:
             }
         return body
 
+    def _metricsz(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """The Prometheus text exposition of both registries.
+
+        The JSON-only transport special-cases the reserved
+        ``_raw_text`` key into a ``text/plain`` response (Prometheus
+        scrapers do not parse JSON); callers of :meth:`handle` get the
+        text under that key.
+        """
+        return {
+            "_raw_text": _obs.render(_obs.REGISTRY, self.registry),
+        }
+
     # -- dispatch ------------------------------------------------------------
 
     _HANDLERS = {
@@ -537,6 +622,7 @@ class ServeApp:
         "poa": _poa,
         "healthz": _healthz,
         "statsz": _statsz,
+        "metricsz": _metricsz,
     }
 
     def handle(
@@ -554,20 +640,24 @@ class ServeApp:
                 "endpoints": sorted(self._HANDLERS),
             }
         with self._lock:
-            stats = self._endpoints.setdefault(endpoint, _EndpointStats())
-            stats.requests += 1
+            stats = self._endpoints.get(endpoint)
+            if stats is None:
+                stats = _EndpointStats(self.registry, endpoint)
+                self._endpoints[endpoint] = stats
+        stats.note_request()
         started = time.perf_counter()
-        try:
-            body = handler(self, payload or {})
-            status = 200
-        except ServeError as exc:
-            status, body = exc.status, {"error": exc.message}
-        except Exception as exc:  # pragma: no cover - defensive surface
-            status = 500
-            body = {"error": f"{type(exc).__name__}: {exc}"}
+        with _trace.span("serve.request", endpoint=endpoint) as sp:
+            try:
+                body = handler(self, payload or {})
+                status = 200
+            except ServeError as exc:
+                status, body = exc.status, {"error": exc.message}
+            except Exception as exc:  # pragma: no cover - defensive surface
+                status = 500
+                body = {"error": f"{type(exc).__name__}: {exc}"}
+            sp.set(status=status)
         elapsed = time.perf_counter() - started
+        stats.note_result(elapsed, error=status >= 400)
         with self._lock:
             stats.latencies.append(elapsed)
-            if status >= 400:
-                stats.errors += 1
         return status, body
